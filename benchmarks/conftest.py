@@ -1,0 +1,36 @@
+"""Shared helpers for the figure/table reproduction benchmarks.
+
+Each benchmark regenerates one table or figure of the paper: it runs
+the corresponding experiment driver once (``benchmark.pedantic`` with a
+single round — these are simulations, not microbenchmarks), prints the
+same rows/series the paper plots next to the paper's reference values,
+and asserts the qualitative shape (who wins, roughly by how much).
+
+Sizing: reference counts are chosen so the whole suite completes in
+tens of minutes; set ``REPRO_BENCH_SCALE`` (a float multiplier) to run
+longer, more statistically settled sweeps.
+"""
+
+import os
+
+import pytest
+
+
+def bench_refs(base: int) -> int:
+    """Scale a benchmark's per-core reference count via the env."""
+    factor = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    return max(500, int(base * factor))
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print straight to the terminal, past pytest's capture."""
+    def _emit(text: str) -> None:
+        with capsys.disabled():
+            print(text)
+    return _emit
+
+
+def run_exactly_once(benchmark, func):
+    """Run ``func`` once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

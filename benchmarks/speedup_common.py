@@ -1,0 +1,48 @@
+"""Shared driver for the Figs. 12-14 speedup benchmarks."""
+
+from repro.analysis.experiments import speedup_experiment
+from repro.analysis.tables import format_mapping_table
+from repro.core.mechanisms import PAPER_MECHANISMS
+
+#: Paper average speedups over Radix per figure.
+PAPER_AVERAGES = {
+    1: {"ech": 1.18, "hugepage": 1.08, "ndpage": 1.344},
+    4: {"ech": 1.30, "hugepage": None, "ndpage": 1.426},
+    8: {"ech": 1.078, "hugepage": 0.901, "ndpage": 1.407},
+}
+
+
+def run_speedup_figure(benchmark, emit, num_cores: int,
+                       refs_per_core: int, figure: str):
+    """Run one of Figs. 12/13/14 and print paper-vs-measured rows."""
+    def _run():
+        return speedup_experiment(num_cores,
+                                  refs_per_core=refs_per_core)
+
+    table, averages, _raw = benchmark.pedantic(_run, rounds=1,
+                                               iterations=1)
+    table["AVG"] = averages
+    emit("\n" + format_mapping_table(
+        table, list(PAPER_MECHANISMS), row_label="workload",
+        title=f"{figure} — speedup over Radix, {num_cores}-core NDP"))
+    paper = PAPER_AVERAGES[num_cores]
+    paper_text = ", ".join(
+        f"{k} {v}" for k, v in paper.items() if v is not None)
+    measured_text = ", ".join(
+        f"{k} {averages[k]:.3f}" for k in ("ech", "hugepage", "ndpage"))
+    emit(f"paper averages: {paper_text}")
+    emit(f"measured averages: {measured_text}")
+    return table, averages
+
+
+def assert_common_shape(table, averages):
+    """Shape checks shared by all three figures."""
+    # NDPage is the best real mechanism on average and bounded by Ideal.
+    assert averages["ndpage"] > averages["ech"]
+    assert averages["ndpage"] > averages["hugepage"]
+    assert averages["ndpage"] > averages["radix"] == 1.0
+    assert averages["ideal"] > averages["ndpage"]
+    # NDPage never loses to Radix on any workload.
+    losses = [wl for wl, row in table.items()
+              if wl != "AVG" and row["ndpage"] < 0.98]
+    assert not losses, f"NDPage loses on {losses}"

@@ -1,0 +1,42 @@
+"""Section V-C / Fig. 10: page-walk-cache hit rates by level.
+
+Paper: PWC hit rates are ~100% at PL4, 98.6% at PL3, and average only
+15.4% over PL2/PL1 — the reason NDPage keeps the top-level PWCs and
+concentrates the poorly caching bottom into one flattened level.
+"""
+
+from conftest import bench_refs, run_exactly_once
+
+from repro.analysis.experiments import pwc_hit_rates
+from repro.analysis.tables import format_table
+
+
+def test_fig10_pwc_hit_rates(benchmark, emit):
+    radix_rates = run_exactly_once(benchmark, lambda: pwc_hit_rates(
+        num_cores=4, mechanism="radix",
+        refs_per_core=bench_refs(3000)))
+    ndpage_rates = pwc_hit_rates(
+        num_cores=4, mechanism="ndpage",
+        refs_per_core=bench_refs(3000))
+
+    rows = [[level, radix_rates.get(level, float("nan"))]
+            for level in ("PL4", "PL3", "PL2", "PL1")]
+    emit("\n" + format_table(["level", "hit rate"], rows,
+                             title="Fig. 10 — radix PWC hit rates"))
+    rows = [[level, ndpage_rates.get(level, float("nan"))]
+            for level in ("PL4", "PL3", "PL2/1")]
+    emit(format_table(["level", "hit rate"], rows,
+                      title="NDPage PWC hit rates"))
+    low = (radix_rates["PL2"] + radix_rates["PL1"]) / 2
+    emit(f"paper: PL4 ~100%, PL3 98.6%, PL2/PL1 avg 15.4% | measured: "
+         f"PL4 {radix_rates['PL4']:.1%}, PL3 {radix_rates['PL3']:.1%}, "
+         f"PL2/PL1 avg {low:.1%}")
+
+    assert radix_rates["PL4"] > 0.95
+    assert radix_rates["PL3"] > 0.9
+    assert low < 0.45
+    # NDPage keeps the effective top-level PWCs and confines the misses
+    # to the single flattened level.
+    assert ndpage_rates["PL4"] > 0.95
+    assert ndpage_rates["PL3"] > 0.9
+    assert ndpage_rates["PL2/1"] < 0.45

@@ -1,0 +1,19 @@
+"""Fig. 12: speedup over Radix in single-core NDP execution.
+
+Paper: NDPage +34.4% over Radix on average, +14.3% over the
+second-best mechanism (ECH), +24.4% over Huge Page.
+"""
+
+from conftest import bench_refs
+from speedup_common import assert_common_shape, run_speedup_figure
+
+
+def test_fig12_single_core_speedups(benchmark, emit):
+    table, averages = run_speedup_figure(
+        benchmark, emit, num_cores=1,
+        refs_per_core=bench_refs(6000), figure="Fig. 12")
+    assert_common_shape(table, averages)
+    # Paper: NDPage 1.344x over Radix (we accept a generous band).
+    assert 1.15 < averages["ndpage"] < 1.65
+    # Paper: NDPage beats Huge Page by 24.4%.
+    assert averages["ndpage"] / averages["hugepage"] > 1.10

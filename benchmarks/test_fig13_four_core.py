@@ -1,0 +1,19 @@
+"""Fig. 13: speedup over Radix in 4-core NDP execution.
+
+Paper: NDPage +42.6% over Radix on average and +9.8% over the
+second-best mechanism (ECH).
+"""
+
+from conftest import bench_refs
+from speedup_common import assert_common_shape, run_speedup_figure
+
+
+def test_fig13_four_core_speedups(benchmark, emit):
+    table, averages = run_speedup_figure(
+        benchmark, emit, num_cores=4,
+        refs_per_core=bench_refs(3500), figure="Fig. 13")
+    assert_common_shape(table, averages)
+    # Paper: NDPage 1.426x over Radix.
+    assert 1.2 < averages["ndpage"] < 1.7
+    # Multi-core gains exceed the single-core level of ~1.34.
+    assert averages["ndpage"] > 1.3

@@ -1,0 +1,60 @@
+"""Table I: the simulated system configuration.
+
+Regenerates the configuration table and asserts every Table I value is
+what the simulator actually instantiates (not merely what the config
+dataclass claims).
+"""
+
+from conftest import run_exactly_once
+
+from repro.analysis.tables import format_table
+from repro.mem.dram import DDR4_2400, HBM2
+from repro.sim.config import cpu_config, ndp_config
+from repro.sim.system import System
+
+FAST = dict(workload="rnd", refs_per_core=200, scale=1 / 64)
+
+
+def test_table1_system_configuration(benchmark, emit):
+    ndp, cpu = run_exactly_once(benchmark, lambda: (
+        System(ndp_config(num_cores=4, **FAST)),
+        System(cpu_config(num_cores=4, **FAST)),
+    ))
+
+    rows = [
+        ["cores", "4x x86-64 2.6 GHz", "4x x86-64 2.6 GHz"],
+        ["L1D", "32 KB 8-way 4 cy", "32 KB 8-way 4 cy"],
+        ["L2", "none", "512 KB 16-way 16 cy"],
+        ["L3", "none", "2 MB/core 16-way 35 cy"],
+        ["L1 DTLB", "64e 4-way 1 cy", "64e 4-way 1 cy"],
+        ["L2 TLB", "1536e 12 cy", "1536e 12 cy"],
+        ["memory", "HBM2 16 GB", "DDR4-2400 16 GB"],
+        ["mesh", "4 cy hop, 512-bit", "4 cy hop, 512-bit"],
+    ]
+    emit("\n" + format_table(["component", "NDP", "CPU"], rows,
+                             title="Table I — system configuration"))
+
+    # NDP side.
+    l1 = ndp.hierarchy.l1ds[0]
+    assert (l1.size_bytes, l1.associativity, l1.hit_latency) \
+        == (32 * 1024, 8, 4)
+    assert ndp.hierarchy.l2s is None and ndp.hierarchy.l3 is None
+    assert ndp.hierarchy.dram.timing is HBM2
+    tlbs = ndp.mmus[0].tlbs
+    assert (tlbs.l1_small.entries, tlbs.l1_small.associativity,
+            tlbs.l1_small.latency) == (64, 4, 1)
+    assert (tlbs.l2.entries, tlbs.l2.latency) == (1536, 12)
+    assert ndp.hierarchy.noc.config.hop_latency == 4
+    assert ndp.hierarchy.noc.config.link_bytes == 64  # 512-bit links
+
+    # CPU side.
+    l2 = cpu.hierarchy.l2s[0]
+    assert (l2.size_bytes, l2.associativity, l2.hit_latency) \
+        == (512 * 1024, 16, 16)
+    l3 = cpu.hierarchy.l3
+    assert (l3.size_bytes, l3.associativity, l3.hit_latency) \
+        == (4 * 2 * 1024 * 1024, 16, 35)
+    assert cpu.hierarchy.dram.timing is DDR4_2400
+
+    # 16 GB of physical memory at full scale.
+    assert ndp_config(workload="rnd").physical_bytes == 16 * 1024 ** 3

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Graph analytics on NDP: the paper's motivating scenario.
+
+Runs the seven GraphBIG kernels (Table II) on a 4-core NDP system and
+shows where the time goes under a conventional radix page table — TLB
+misses, page walks, cache pollution — and how much NDPage recovers.
+This is the per-workload view behind Figs. 5, 7 and 13.
+
+Run:  python examples/graph_analytics.py
+"""
+
+from repro import ndp_config, run_mechanisms
+from repro.analysis.tables import format_table
+from repro.workloads.graphbig import KERNELS
+
+
+def main():
+    print("GraphBIG kernels on a 4-core NDP system "
+          "(8 GB power-law graph, Table I hardware)\n")
+    rows = []
+    for kernel in sorted(KERNELS):
+        config = ndp_config(workload=kernel, num_cores=4,
+                            refs_per_core=4_000)
+        results = run_mechanisms(config, ["radix", "ndpage"])
+        radix, ndpage = results["radix"], results["ndpage"]
+        rows.append([
+            kernel,
+            radix.tlb_miss_rate,
+            radix.ptw_latency_mean,
+            radix.translation_fraction,
+            radix.l1_metadata_miss_rate,
+            ndpage.speedup_over(radix),
+        ])
+    print(format_table(
+        ["kernel", "TLB miss", "radix PTW", "transl. share",
+         "PTE L1 miss", "NDPage speedup"],
+        rows, title="Radix translation behaviour and NDPage gains"))
+
+    print()
+    print("Reading the table: frontier-driven kernels (bc, bfs, sp)"
+          " miss the TLB hardest and walk longest, so NDPage helps"
+          " them most; the sweep kernels (cc, gc, pr) have more"
+          " sequential structure and gain less — matching the"
+          " per-workload spread in the paper's Fig. 13.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Per-mechanism PTW/queue diagnostics on a few workloads."""
+import sys
+from repro import ndp_config, run_once
+
+cores = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+refs = int(sys.argv[2]) if len(sys.argv) > 2 else 12000
+for wl in ['bfs', 'pr', 'xs', 'rnd']:
+    base = None
+    for m in ['radix', 'ech', 'hugepage', 'ndpage', 'ideal']:
+        r = run_once(ndp_config(workload=wl, mechanism=m, num_cores=cores,
+                                refs_per_core=refs))
+        if m == 'radix':
+            base = r
+        dram = sum(r.dram_accesses_by_kind.values())
+        print(f"{wl:4s} {m:9s} sp={base.cycles/r.cycles:5.2f} ptw={r.ptw_latency_mean:6.1f} "
+              f"qd={r.dram_queue_delay_mean:6.1f} pte_acc={r.pte_memory_accesses:6d} "
+              f"dram={dram:7d} meta_dram={r.dram_accesses_by_kind.get('metadata',0):6d} "
+              f"cyc/ref={r.cycles*cores/max(1,r.references):6.1f} tf={r.translation_fraction:.2f}")
+    print()

@@ -1,0 +1,71 @@
+"""NDPage reproduction: tailored page tables for near-data processing.
+
+A functional + timing simulator reproducing *NDPage: Efficient Address
+Translation for Near-Data Processing Architectures via Tailored Page
+Table* (DATE 2025).  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for paper-vs-measured results.
+
+Quickstart::
+
+    from repro import ndp_config, run_once
+
+    result = run_once(ndp_config(workload="rnd", mechanism="ndpage",
+                                 num_cores=4, refs_per_core=20_000))
+    print(result.summary())
+"""
+
+from repro.core import (
+    MECHANISMS,
+    PAPER_MECHANISMS,
+    FlattenedPageTable,
+    MechanismSpec,
+    MetadataBypass,
+    get_mechanism,
+)
+from repro.sim import (
+    RunResult,
+    System,
+    SystemConfig,
+    cpu_config,
+    ndp_config,
+    run_mechanisms,
+    run_once,
+)
+from repro.vm import (
+    ElasticCuckooPageTable,
+    FrameAllocator,
+    IdealPageTable,
+    OSMemoryManager,
+    PagingPolicy,
+    RadixPageTable,
+    occupancy_report,
+)
+from repro.workloads import ALL_WORKLOADS, make_workload, workload_table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "ElasticCuckooPageTable",
+    "FlattenedPageTable",
+    "FrameAllocator",
+    "IdealPageTable",
+    "MECHANISMS",
+    "MechanismSpec",
+    "MetadataBypass",
+    "OSMemoryManager",
+    "PAPER_MECHANISMS",
+    "PagingPolicy",
+    "RadixPageTable",
+    "RunResult",
+    "System",
+    "SystemConfig",
+    "cpu_config",
+    "get_mechanism",
+    "make_workload",
+    "ndp_config",
+    "occupancy_report",
+    "run_mechanisms",
+    "run_once",
+    "workload_table",
+]

@@ -1,0 +1,17 @@
+"""Result analysis: metrics, table formatting, paper experiments."""
+
+from repro.analysis.metrics import (
+    average_speedups,
+    mean,
+    speedup_table,
+)
+from repro.analysis.tables import format_table
+from repro.analysis import experiments
+
+__all__ = [
+    "average_speedups",
+    "experiments",
+    "format_table",
+    "mean",
+    "speedup_table",
+]

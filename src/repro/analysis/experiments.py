@@ -1,0 +1,227 @@
+"""High-level experiment drivers: one function per paper table/figure.
+
+Each function runs the simulations a figure needs and returns plain
+data (dicts keyed by workload/mechanism); the benchmark harness prints
+the rows and EXPERIMENTS.md records paper-vs-measured.  All drivers
+accept ``workloads``, ``refs_per_core``, ``scale`` and ``seed`` so tests
+can shrink them and the benches can run them at full sweep size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence, Tuple
+
+from repro.analysis.metrics import average_speedups, mean, speedup_table
+from repro.core.mechanisms import PAPER_MECHANISMS
+from repro.sim.config import (
+    DEFAULT_SCALE,
+    SystemConfig,
+    cpu_config,
+    ndp_config,
+)
+from repro.sim.runner import RunResult, run_once
+from repro.vm.occupancy import occupancy_report
+from repro.workloads.registry import ALL_WORKLOADS, make_workload
+
+DEFAULT_REFS = 30_000
+
+
+def _config(system: str, workload: str, mechanism: str, num_cores: int,
+            refs_per_core: int, scale: float, seed: int) -> SystemConfig:
+    factory = ndp_config if system == "ndp" else cpu_config
+    return factory(workload=workload, mechanism=mechanism,
+                   num_cores=num_cores, refs_per_core=refs_per_core,
+                   scale=scale, seed=seed)
+
+
+# -- Motivation: Figs. 4-6 ----------------------------------------------------
+
+def ptw_latency_comparison(workloads: Sequence[str] = ALL_WORKLOADS,
+                           num_cores: int = 4,
+                           refs_per_core: int = DEFAULT_REFS,
+                           scale: float = DEFAULT_SCALE,
+                           seed: int = 42) -> Dict[str, Dict[str, float]]:
+    """Fig. 4: average radix PTW latency, NDP vs CPU, per workload."""
+    table: Dict[str, Dict[str, float]] = {}
+    for workload in workloads:
+        row = {}
+        for system in ("ndp", "cpu"):
+            result = run_once(_config(system, workload, "radix",
+                                      num_cores, refs_per_core, scale,
+                                      seed))
+            row[system] = result.ptw_latency_mean
+            row[f"{system}_max"] = result.ptw_latency_max
+        row["increase"] = (row["ndp"] / row["cpu"] - 1.0
+                           if row["cpu"] else 0.0)
+        table[workload] = row
+    return table
+
+
+def translation_overhead_comparison(
+        workloads: Sequence[str] = ALL_WORKLOADS,
+        num_cores: int = 4,
+        refs_per_core: int = DEFAULT_REFS,
+        scale: float = DEFAULT_SCALE,
+        seed: int = 42) -> Dict[str, Dict[str, float]]:
+    """Fig. 5: fraction of runtime spent translating, NDP vs CPU."""
+    table: Dict[str, Dict[str, float]] = {}
+    for workload in workloads:
+        row = {}
+        for system in ("ndp", "cpu"):
+            result = run_once(_config(system, workload, "radix",
+                                      num_cores, refs_per_core, scale,
+                                      seed))
+            row[system] = result.translation_fraction
+        table[workload] = row
+    return table
+
+
+def core_scaling(workloads: Sequence[str] = ALL_WORKLOADS,
+                 core_counts: Sequence[int] = (1, 4, 8),
+                 refs_per_core: int = DEFAULT_REFS,
+                 scale: float = DEFAULT_SCALE,
+                 seed: int = 42) -> Dict[str, Dict[int, Dict[str, float]]]:
+    """Fig. 6: mean PTW latency and overhead fraction vs core count."""
+    out: Dict[str, Dict[int, Dict[str, float]]] = {
+        "ndp": {}, "cpu": {}}
+    for system in ("ndp", "cpu"):
+        for cores in core_counts:
+            latencies = []
+            overheads = []
+            for workload in workloads:
+                result = run_once(_config(system, workload, "radix",
+                                          cores, refs_per_core, scale,
+                                          seed))
+                latencies.append(result.ptw_latency_mean)
+                overheads.append(result.translation_fraction)
+            out[system][cores] = {
+                "ptw_latency": mean(latencies),
+                "overhead": mean(overheads),
+            }
+    return out
+
+
+# -- Key observations: Figs. 7, 8 and Section IV-A scalars ----------------------
+
+@dataclass
+class MissRateRow:
+    """Fig. 7 bars for one workload (4-core NDP)."""
+
+    data_ideal: float      # normal-data L1 miss, no translation traffic
+    data_actual: float     # normal-data L1 miss with radix PTEs cached
+    metadata: float        # PTE L1 miss rate
+    tlb_miss_rate: float
+    metadata_mem_fraction: float
+    pollution_evictions: int
+
+
+def l1_miss_breakdown(workloads: Sequence[str] = ALL_WORKLOADS,
+                      num_cores: int = 4,
+                      refs_per_core: int = DEFAULT_REFS,
+                      scale: float = DEFAULT_SCALE,
+                      seed: int = 42) -> Dict[str, MissRateRow]:
+    """Fig. 7 plus the Section IV-A scalar claims."""
+    table = {}
+    for workload in workloads:
+        actual = run_once(_config("ndp", workload, "radix", num_cores,
+                                  refs_per_core, scale, seed))
+        ideal = run_once(_config("ndp", workload, "ideal", num_cores,
+                                 refs_per_core, scale, seed))
+        table[workload] = MissRateRow(
+            data_ideal=ideal.l1_data_miss_rate,
+            data_actual=actual.l1_data_miss_rate,
+            metadata=actual.l1_metadata_miss_rate,
+            tlb_miss_rate=actual.tlb_miss_rate,
+            metadata_mem_fraction=actual.metadata_mem_fraction,
+            pollution_evictions=actual.data_evicted_by_metadata,
+        )
+    return table
+
+
+def pte_dram_amplification(workload: str = "rnd", num_cores: int = 4,
+                           refs_per_core: int = DEFAULT_REFS,
+                           scale: float = DEFAULT_SCALE,
+                           seed: int = 42) -> float:
+    """Section IV-A: NDP-vs-CPU ratio of PTE accesses reaching DRAM."""
+    ndp = run_once(_config("ndp", workload, "radix", num_cores,
+                           refs_per_core, scale, seed))
+    cpu = run_once(_config("cpu", workload, "radix", num_cores,
+                           refs_per_core, scale, seed))
+    cpu_pte = max(1, cpu.dram_accesses_by_kind.get("metadata", 0))
+    return ndp.dram_accesses_by_kind.get("metadata", 0) / cpu_pte
+
+
+def occupancy_study(workloads: Sequence[str] = ALL_WORKLOADS,
+                    seed: int = 42) -> Dict[str, Dict[str, float]]:
+    """Fig. 8: page-table occupancy at the paper's full dataset scale.
+
+    Occupancy is structural, so it is computed analytically from each
+    workload's full-scale mapped ranges (see repro.vm.occupancy); tests
+    verify the analytic form against live tables at small scale.
+    """
+    table = {}
+    for workload in workloads:
+        ranges = make_workload(workload, scale=1.0,
+                               seed=seed).page_ranges()
+        table[workload] = occupancy_report(ranges)
+    return table
+
+
+def pwc_hit_rates(workloads: Sequence[str] = ALL_WORKLOADS,
+                  num_cores: int = 4, mechanism: str = "radix",
+                  refs_per_core: int = DEFAULT_REFS,
+                  scale: float = DEFAULT_SCALE,
+                  seed: int = 42) -> Dict[str, float]:
+    """Section V-C: PWC hit rate per level, averaged over workloads."""
+    sums: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for workload in workloads:
+        result = run_once(_config("ndp", workload, mechanism, num_cores,
+                                  refs_per_core, scale, seed))
+        for level, rate in result.pwc_hit_rates.items():
+            sums[level] = sums.get(level, 0.0) + rate
+            counts[level] = counts.get(level, 0) + 1
+    return {level: sums[level] / counts[level] for level in sums}
+
+
+# -- Main results: Figs. 12-14 -----------------------------------------------------
+
+def speedup_experiment(num_cores: int,
+                       workloads: Sequence[str] = ALL_WORKLOADS,
+                       mechanisms: Sequence[str] = PAPER_MECHANISMS,
+                       system: str = "ndp",
+                       refs_per_core: int = DEFAULT_REFS,
+                       scale: float = DEFAULT_SCALE,
+                       seed: int = 42
+                       ) -> Tuple[Dict[str, Dict[str, float]],
+                                  Dict[str, float],
+                                  Dict[str, Dict[str, RunResult]]]:
+    """Figs. 12/13/14: per-workload speedups over Radix.
+
+    Returns (speedup table, across-workload averages, raw results).
+    """
+    raw: Dict[str, Dict[str, RunResult]] = {}
+    for workload in workloads:
+        raw[workload] = {}
+        for mechanism in mechanisms:
+            raw[workload][mechanism] = run_once(
+                _config(system, workload, mechanism, num_cores,
+                        refs_per_core, scale, seed))
+    table = speedup_table(raw, baseline="radix")
+    return table, average_speedups(table), raw
+
+
+def ablation_experiment(num_cores: int = 4,
+                        workloads: Sequence[str] = ("bfs", "xs", "rnd"),
+                        refs_per_core: int = DEFAULT_REFS,
+                        scale: float = DEFAULT_SCALE,
+                        seed: int = 42) -> Dict[str, Dict[str, float]]:
+    """Decompose NDPage: bypass-only vs flatten-only vs both vs no-PWC,
+    plus the counterfactual upper-level (PL3/PL2) flattening."""
+    mechanisms = ("radix", "ndpage-bypass-only", "ndpage-flatten-only",
+                  "ndpage-nopwc", "ndpage-flatten-upper", "ndpage")
+    table, _, _ = speedup_experiment(
+        num_cores, workloads=workloads, mechanisms=mechanisms,
+        refs_per_core=refs_per_core, scale=scale, seed=seed)
+    return table

@@ -1,0 +1,60 @@
+"""Derived metrics over :class:`~repro.sim.runner.RunResult` sets."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping
+
+from repro.sim.runner import RunResult
+from repro.sim.stats import geometric_mean
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean (0.0 for empty input)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def speedup_table(results_by_workload: Mapping[str, Mapping[str, RunResult]],
+                  baseline: str = "radix") -> Dict[str, Dict[str, float]]:
+    """Per-workload speedups of every mechanism over ``baseline``.
+
+    Input maps workload -> mechanism -> RunResult (one paper figure's
+    raw data); output maps workload -> mechanism -> speedup.
+    """
+    table: Dict[str, Dict[str, float]] = {}
+    for workload, by_mechanism in results_by_workload.items():
+        base = by_mechanism[baseline]
+        table[workload] = {
+            mechanism: result.speedup_over(base)
+            for mechanism, result in by_mechanism.items()
+        }
+    return table
+
+
+def average_speedups(table: Mapping[str, Mapping[str, float]],
+                     geo: bool = False) -> Dict[str, float]:
+    """Across-workload average speedup per mechanism (figure 'AVG' bar)."""
+    mechanisms: List[str] = sorted(
+        {m for row in table.values() for m in row})
+    averages = {}
+    for mechanism in mechanisms:
+        values = [row[mechanism] for row in table.values()
+                  if mechanism in row]
+        averages[mechanism] = (
+            geometric_mean(values) if geo else mean(values))
+    return averages
+
+
+def improvement_over(table: Mapping[str, Mapping[str, float]],
+                     subject: str, reference: str) -> float:
+    """Average relative improvement of ``subject`` over ``reference``.
+
+    The paper's headline numbers ("NDPage outperforms ECH by 14.3%")
+    compare average speedups of the two mechanisms.
+    """
+    averages = average_speedups(table)
+    if averages.get(reference, 0.0) == 0.0:
+        return 0.0
+    return averages[subject] / averages[reference] - 1.0

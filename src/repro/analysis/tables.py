@@ -1,0 +1,54 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; this module is the tiny formatter those harnesses share.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned ASCII table."""
+    str_rows: List[List[str]] = [
+        [_format_cell(cell) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i])
+                         for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_row(list(headers)))
+    lines.append(render_row(["-" * w for w in widths]))
+    lines.extend(render_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_mapping_table(table: Mapping[str, Mapping[str, float]],
+                         columns: Sequence[str], row_label: str,
+                         title: Optional[str] = None) -> str:
+    """Render workload -> column -> value nested mappings."""
+    headers = [row_label] + list(columns)
+    rows = [
+        [name] + [row.get(col, float("nan")) for col in columns]
+        for name, row in table.items()
+    ]
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,175 @@
+"""Command-line interface: run simulations and paper experiments.
+
+Examples::
+
+    python -m repro run --workload rnd --mechanism ndpage --cores 4
+    python -m repro compare --workload bfs --cores 8
+    python -m repro figure fig12 --refs 4000
+    python -m repro workloads
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import experiments
+from repro.analysis.metrics import mean
+from repro.analysis.tables import format_mapping_table, format_table
+from repro.core.mechanisms import MECHANISMS, PAPER_MECHANISMS
+from repro.sim.config import cpu_config, ndp_config
+from repro.sim.runner import run_mechanisms, run_once
+from repro.workloads.registry import ALL_WORKLOADS, workload_table
+
+FIGURES = ("fig4", "fig5", "fig6", "fig7", "fig8", "fig10",
+           "fig12", "fig13", "fig14")
+
+
+def _config_from(args):
+    factory = ndp_config if args.system == "ndp" else cpu_config
+    return factory(workload=args.workload, mechanism=args.mechanism,
+                   num_cores=args.cores, refs_per_core=args.refs,
+                   seed=args.seed)
+
+
+def _add_common(parser):
+    parser.add_argument("--workload", default="rnd",
+                        choices=ALL_WORKLOADS)
+    parser.add_argument("--cores", type=int, default=4)
+    parser.add_argument("--refs", type=int, default=5000,
+                        help="memory references per core")
+    parser.add_argument("--system", default="ndp",
+                        choices=("ndp", "cpu"))
+    parser.add_argument("--seed", type=int, default=42)
+
+
+def cmd_run(args) -> int:
+    result = run_once(_config_from(args))
+    rows = [[key, value] for key, value in result.summary().items()]
+    rows += [
+        ["fault_cycles", result.fault_cycles],
+        ["pte_mem_accesses", result.pte_memory_accesses],
+        ["dram_row_hit", result.dram_row_hit_rate],
+    ]
+    print(format_table(["metric", "value"], rows,
+                       title=f"{args.workload} / {args.mechanism} / "
+                             f"{args.cores}-core {args.system}"))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    mechanisms = args.mechanisms or list(PAPER_MECHANISMS)
+    results = run_mechanisms(_config_from(args), mechanisms)
+    baseline = results["radix"]
+    rows = [
+        [name, r.cycles, r.speedup_over(baseline),
+         r.ptw_latency_mean, r.translation_fraction]
+        for name, r in results.items()
+    ]
+    print(format_table(
+        ["mechanism", "cycles", "speedup", "PTW (cy)", "transl. share"],
+        rows, title=f"{args.workload}, {args.cores}-core {args.system}"))
+    return 0
+
+
+def cmd_figure(args) -> int:
+    refs = args.refs
+    if args.figure == "fig4":
+        table = experiments.ptw_latency_comparison(refs_per_core=refs)
+        print(format_mapping_table(table, ["ndp", "cpu", "increase"],
+                                   row_label="workload",
+                                   title="Fig. 4"))
+    elif args.figure == "fig5":
+        table = experiments.translation_overhead_comparison(
+            refs_per_core=refs)
+        print(format_mapping_table(table, ["ndp", "cpu"],
+                                   row_label="workload",
+                                   title="Fig. 5"))
+    elif args.figure == "fig6":
+        out = experiments.core_scaling(refs_per_core=refs)
+        rows = [
+            [cores, out["ndp"][cores]["ptw_latency"],
+             out["cpu"][cores]["ptw_latency"],
+             out["ndp"][cores]["overhead"],
+             out["cpu"][cores]["overhead"]]
+            for cores in sorted(out["ndp"])
+        ]
+        print(format_table(
+            ["cores", "NDP PTW", "CPU PTW", "NDP ovh", "CPU ovh"],
+            rows, title="Fig. 6"))
+    elif args.figure == "fig7":
+        table = experiments.l1_miss_breakdown(refs_per_core=refs)
+        rows = [
+            [wl, r.data_ideal, r.data_actual, r.metadata]
+            for wl, r in table.items()
+        ]
+        print(format_table(
+            ["workload", "data(ideal)", "data(actual)", "metadata"],
+            rows, title="Fig. 7"))
+    elif args.figure == "fig8":
+        table = experiments.occupancy_study()
+        print(format_mapping_table(
+            table, ["PL1", "PL2", "PL3", "PL4", "PL2/1"],
+            row_label="workload", title="Fig. 8"))
+    elif args.figure == "fig10":
+        rates = experiments.pwc_hit_rates(refs_per_core=refs)
+        print(format_table(["level", "hit rate"],
+                           sorted(rates.items()), title="Fig. 10"))
+    else:  # fig12 / fig13 / fig14
+        cores = {"fig12": 1, "fig13": 4, "fig14": 8}[args.figure]
+        table, averages, _ = experiments.speedup_experiment(
+            cores, refs_per_core=refs)
+        table["AVG"] = averages
+        print(format_mapping_table(
+            table, list(PAPER_MECHANISMS), row_label="workload",
+            title=f"{args.figure} ({cores}-core speedups over Radix)"))
+    return 0
+
+
+def cmd_workloads(_args) -> int:
+    rows = [
+        [row["suite"], row["name"], row["dataset_gb"],
+         row["gap_cycles"]]
+        for row in workload_table(scale=1.0)
+    ]
+    print(format_table(["suite", "workload", "dataset (GB)", "gap cy"],
+                       rows, title="Table II workloads"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NDPage (DATE 2025) reproduction simulator")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one simulation")
+    _add_common(run_p)
+    run_p.add_argument("--mechanism", default="radix",
+                       choices=sorted(MECHANISMS))
+    run_p.set_defaults(func=cmd_run)
+
+    cmp_p = sub.add_parser("compare",
+                           help="compare translation mechanisms")
+    _add_common(cmp_p)
+    cmp_p.add_argument("--mechanisms", nargs="*",
+                       choices=sorted(MECHANISMS), default=None)
+    cmp_p.set_defaults(func=cmd_compare, mechanism="radix")
+
+    fig_p = sub.add_parser("figure", help="regenerate a paper figure")
+    fig_p.add_argument("figure", choices=FIGURES)
+    fig_p.add_argument("--refs", type=int, default=3000)
+    fig_p.set_defaults(func=cmd_figure)
+
+    wl_p = sub.add_parser("workloads", help="list Table II workloads")
+    wl_p.set_defaults(func=cmd_workloads)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

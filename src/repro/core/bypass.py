@@ -1,0 +1,50 @@
+"""Metadata cache-bypass policies — NDPage's first mechanism (Section V-A).
+
+The OS marks page-table regions (4 KB, 64 B-aligned, so the marking
+never splits a cache line with normal data) and the hardware issues
+special non-caching loads (PFLD-style) for them.  In the simulator the
+policy simply decides, per walk step, whether the PTE request carries
+``bypass_l1``; the cache hierarchy does the rest.
+
+Because the NDP system has a single cache level, bypassing cannot
+violate multi-level inclusion — the paper's argument for why the
+mechanism is safe in NDP but not trivially portable to deep hierarchies.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Optional, Set
+
+
+class BypassPolicy(ABC):
+    """Decides whether a page-walk access skips the L1 cache."""
+
+    @abstractmethod
+    def should_bypass(self, level: str) -> bool:
+        """True if PTE accesses for ``level`` must bypass the L1."""
+
+
+class NoBypass(BypassPolicy):
+    """Conventional behaviour: PTEs are cacheable (Radix/ECH/Huge Page)."""
+
+    def should_bypass(self, level: str) -> bool:
+        return False
+
+
+class MetadataBypass(BypassPolicy):
+    """NDPage's policy: all PTE accesses bypass the NDP L1.
+
+    An optional level whitelist supports ablations (e.g. bypassing only
+    the flattened leaf level, where the miss rate concentrates).
+    """
+
+    def __init__(self, levels: Optional[Iterable[str]] = None):
+        self._levels: Optional[Set[str]] = (
+            set(levels) if levels is not None else None
+        )
+
+    def should_bypass(self, level: str) -> bool:
+        if self._levels is None:
+            return True
+        return level in self._levels

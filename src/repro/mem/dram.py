@@ -1,0 +1,206 @@
+"""DRAM timing model: channels, banks, row buffers, queueing.
+
+This is the substrate that produces the paper's multi-core behaviour.
+Each bank tracks when it next becomes free and which row is open, so a
+burst of page-walk traffic from many NDP cores queues up behind busy
+banks and PTW latency climbs with core count (Fig. 6a), while the CPU
+system — whose walks mostly hit in its L2/L3 — barely notices.
+
+Timings are expressed in *core cycles* at the 2.6 GHz clock of Table I.
+Two presets are provided: DDR4-2400 for the host CPU and HBM2 for the
+3D-stacked NDP memory (more channels, lower latency — JESD235).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.mem.request import AccessType, MemoryRequest, RequestKind
+from repro.sim.stats import LatencyStats, ratio
+
+
+@dataclass(frozen=True)
+class DramTiming:
+    """Timing/geometry parameters for one DRAM device.
+
+    Attributes:
+        name: preset label.
+        channels: independent channels (line-interleaved).
+        banks_per_channel: banks per channel.
+        row_bytes: row-buffer size.
+        row_hit_cycles: CAS-limited access into an open row.
+        row_miss_cycles: precharge + activate + CAS.
+        burst_cycles: bank occupancy for a row-buffer hit (data transfer).
+        row_cycle_cycles: bank occupancy for a row-buffer miss (tRC: the
+            bank is unusable for the whole activate..precharge cycle).
+            This term — not raw latency — is what makes banks saturate
+            under many-core page-walk traffic and reproduces Fig. 6.
+    """
+
+    name: str
+    channels: int
+    banks_per_channel: int
+    row_bytes: int
+    row_hit_cycles: int
+    row_miss_cycles: int
+    burst_cycles: int
+    row_cycle_cycles: int
+
+
+# 2 channels of DDR4-2400 behind the CPU's LLC.  ~23 ns CAS-limited and
+# ~45 ns bank-miss latencies at 2.6 GHz; tRC ~46 ns.
+DDR4_2400 = DramTiming(
+    name="DDR4-2400",
+    channels=2,
+    banks_per_channel=16,
+    row_bytes=8192,
+    row_hit_cycles=60,
+    row_miss_cycles=117,
+    burst_cycles=14,
+    row_cycle_cycles=120,
+)
+
+# HBM2 stack under the NDP logic layer.  HBM's advantage over DDR4 is
+# interface width, *not* core latency: the DRAM arrays share the same
+# technology, so tCL/tRC in core cycles are close to DDR4's.  The
+# channel/bank numbers model the parallelism *visible to one NDP
+# cluster* — cores in a logic-layer partition reach the banks of their
+# local vault group, not the whole stack — which is what makes random,
+# row-missing walk traffic from many NDP cores queue on banks and
+# reproduces the paper's rising PTW latency with core count (Fig. 6).
+HBM2 = DramTiming(
+    name="HBM2",
+    channels=2,
+    banks_per_channel=8,
+    row_bytes=2048,
+    row_hit_cycles=52,
+    row_miss_cycles=110,
+    burst_cycles=4,
+    row_cycle_cycles=112,
+)
+
+
+@dataclass
+class DramStats:
+    """Aggregate DRAM statistics, split by request kind."""
+
+    accesses_by_kind: Dict[RequestKind, int] = field(
+        default_factory=lambda: {kind: 0 for kind in RequestKind})
+    writes: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    queue_delay: LatencyStats = field(default_factory=LatencyStats)
+    service_latency: LatencyStats = field(default_factory=LatencyStats)
+
+    @property
+    def accesses(self) -> int:
+        return sum(self.accesses_by_kind.values())
+
+    @property
+    def row_hit_rate(self) -> float:
+        return ratio(self.row_hits, self.row_hits + self.row_misses)
+
+    def reset(self) -> None:
+        for kind in self.accesses_by_kind:
+            self.accesses_by_kind[kind] = 0
+        self.writes = 0
+        self.row_hits = 0
+        self.row_misses = 0
+        self.queue_delay.reset()
+        self.service_latency.reset()
+
+
+class _Bank:
+    __slots__ = ("free_at", "open_row")
+
+    def __init__(self):
+        self.free_at = 0.0
+        self.open_row = -1
+
+
+class DramModel:
+    """Bank-queueing DRAM model.
+
+    ``access`` is the only timing entry point: given the cycle at which a
+    request reaches the memory controller, it returns the total latency
+    (queueing + service) and advances the target bank's busy window.
+    """
+
+    LINE_SIZE = 64
+
+    def __init__(self, timing: DramTiming):
+        self.timing = timing
+        self.stats = DramStats()
+        self._banks: List[_Bank] = [
+            _Bank()
+            for _ in range(timing.channels * timing.banks_per_channel)
+        ]
+        self._lines_per_row = timing.row_bytes // self.LINE_SIZE
+
+    def _decode(self, paddr: int):
+        """Map a physical address to (bank object, row number).
+
+        Lines interleave across channels, then fill a row's columns
+        before moving to the next bank (open-page friendly: sequential
+        streams get row-buffer hits).  The bank index is permuted with
+        row bits (permutation-based page interleaving, as in real
+        controllers), which prevents aligned hot addresses — page-table
+        roots, search-tree midpoints — from all landing in one bank.
+        """
+        line = paddr // self.LINE_SIZE
+        channel = line % self.timing.channels
+        rest = line // self.timing.channels
+        banks = self.timing.banks_per_channel
+        within = rest // self._lines_per_row
+        bank_raw = within % banks
+        row = within // banks
+        bank_idx = (bank_raw ^ (row % banks) ^ ((row >> 5) % banks)) % banks
+        bank = self._banks[channel * banks + bank_idx]
+        return bank, row
+
+    def access(self, now: float, request: MemoryRequest) -> float:
+        """Service ``request`` arriving at cycle ``now``; return latency."""
+        bank, row = self._decode(request.paddr)
+        start = bank.free_at if bank.free_at > now else now
+        queue_delay = start - now
+
+        if bank.open_row == row:
+            service = self.timing.row_hit_cycles
+            occupancy = self.timing.burst_cycles
+            self.stats.row_hits += 1
+        else:
+            service = self.timing.row_miss_cycles
+            occupancy = self.timing.row_cycle_cycles
+            self.stats.row_misses += 1
+            bank.open_row = row
+
+        bank.free_at = start + occupancy
+        self.stats.accesses_by_kind[request.kind] += 1
+        if request.access is AccessType.WRITE:
+            self.stats.writes += 1
+        self.stats.queue_delay.record(queue_delay)
+        total = queue_delay + service
+        self.stats.service_latency.record(total)
+        return total
+
+    def drain_write(self, now: float, request: MemoryRequest) -> None:
+        """Account a write-back: occupies the bank but nobody waits on it."""
+        bank, row = self._decode(request.paddr)
+        start = bank.free_at if bank.free_at > now else now
+        if bank.open_row != row:
+            bank.open_row = row
+            self.stats.row_misses += 1
+            occupancy = self.timing.row_cycle_cycles
+        else:
+            self.stats.row_hits += 1
+            occupancy = self.timing.burst_cycles
+        bank.free_at = start + occupancy
+        self.stats.accesses_by_kind[request.kind] += 1
+        self.stats.writes += 1
+
+    def reset_state(self) -> None:
+        """Clear bank occupancy and open rows (statistics preserved)."""
+        for bank in self._banks:
+            bank.free_at = 0.0
+            bank.open_row = -1

@@ -1,0 +1,170 @@
+"""Memory hierarchy composition: per-core caches, mesh, shared DRAM.
+
+Two shapes exist in the paper (Table I):
+
+* **CPU**: per-core L1D (32 KB) and L2 (512 KB), a shared L3 sized at
+  2 MB per core, a chip mesh, and DDR4-2400 main memory.
+* **NDP**: per-core L1D only — the logic-layer power/area budget allows
+  a single shallow cache level — directly on top of HBM2.
+
+``MemoryHierarchy.access`` is the single timing entry point used by the
+core model (normal data) and the page-table walker (metadata).  NDPage's
+metadata bypass is expressed on the request itself
+(:attr:`MemoryRequest.bypass_l1`), so the hierarchy stays mechanism
+agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.mem.cache import Cache
+from repro.mem.dram import DramModel, DramTiming
+from repro.mem.interconnect import MeshInterconnect
+from repro.mem.request import AccessType, MemoryRequest, RequestKind
+
+
+@dataclass
+class HierarchyStats:
+    """Counters the caches/DRAM do not already track."""
+
+    accesses: int = 0
+    l1_bypasses: int = 0
+    dram_reads: int = 0
+
+    def reset(self) -> None:
+        self.accesses = 0
+        self.l1_bypasses = 0
+        self.dram_reads = 0
+
+
+class MemoryHierarchy:
+    """A configurable 1-3 level cache hierarchy over banked DRAM.
+
+    Args:
+        l1ds: one private L1 data cache per core.
+        dram: shared main-memory model.
+        noc: mesh connecting cores to the memory controller.
+        l2s: optional private L2 per core (CPU configuration).
+        l3: optional shared last-level cache (CPU configuration).
+    """
+
+    def __init__(self, l1ds: List[Cache], dram: DramModel,
+                 noc: MeshInterconnect, l2s: Optional[List[Cache]] = None,
+                 l3: Optional[Cache] = None):
+        if l2s is not None and len(l2s) != len(l1ds):
+            raise ValueError("need one L2 per core when L2s are present")
+        self.l1ds = l1ds
+        self.l2s = l2s
+        self.l3 = l3
+        self.dram = dram
+        self.noc = noc
+        self.stats = HierarchyStats()
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.l1ds)
+
+    def _core_caches(self, core_id: int):
+        levels = [self.l1ds[core_id]]
+        if self.l2s is not None:
+            levels.append(self.l2s[core_id])
+        if self.l3 is not None:
+            levels.append(self.l3)
+        return levels
+
+    def access(self, now: float, request: MemoryRequest) -> float:
+        """Service ``request`` issued at cycle ``now``; return its latency.
+
+        The request walks down the cache levels (paying each lookup
+        latency), and on a full miss crosses the mesh to DRAM.  Dirty
+        victims created by fills are drained to DRAM as posted writes
+        (they occupy banks but nobody waits on them), matching a
+        write-back hierarchy.
+        """
+        self.stats.accesses += 1
+        latency = 0.0
+        levels = self._core_caches(request.core_id)
+        if request.bypass_l1:
+            self.stats.l1_bypasses += 1
+            levels = levels[1:]
+
+        for cache in levels:
+            latency += cache.hit_latency
+            result = cache.access(request)
+            if result.eviction is not None and result.eviction.dirty:
+                self._writeback(now + latency, result.eviction, request)
+            if result.hit:
+                return latency
+
+        # Full miss: traverse the mesh, access DRAM, come back.
+        latency += self.noc.latency(request.core_id)
+        latency += self.dram.access(now + latency, request)
+        latency += self.noc.latency(request.core_id)
+        self.stats.dram_reads += 1
+        return latency
+
+    def _writeback(self, now: float, eviction, request: MemoryRequest):
+        line_paddr = eviction.line_addr * self.l1ds[0].line_size
+        self.dram.drain_write(now, MemoryRequest(
+            paddr=line_paddr,
+            kind=eviction.kind,
+            access=AccessType.WRITE,
+            core_id=request.core_id,
+        ))
+
+    # -- inspection helpers --------------------------------------------------
+
+    def l1_miss_rate(self, kind: RequestKind = RequestKind.DATA) -> float:
+        """Aggregate L1 miss rate across cores for one request kind."""
+        hits = sum(c.stats.for_kind(kind).hits for c in self.l1ds)
+        misses = sum(c.stats.for_kind(kind).misses for c in self.l1ds)
+        total = hits + misses
+        return misses / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+        self.dram.stats.reset()
+        for cache in self.l1ds:
+            cache.stats.reset()
+        if self.l2s is not None:
+            for cache in self.l2s:
+                cache.stats.reset()
+        if self.l3 is not None:
+            self.l3.stats.reset()
+
+
+def build_ndp_hierarchy(num_cores: int, dram_timing: DramTiming,
+                        l1_size: int = 32 * 1024, l1_assoc: int = 8,
+                        l1_latency: int = 4) -> MemoryHierarchy:
+    """NDP shape (Table I): private L1D per core, no L2/L3, HBM2."""
+    l1ds = [
+        Cache(f"L1D{c}", l1_size, l1_assoc, l1_latency)
+        for c in range(num_cores)
+    ]
+    noc = MeshInterconnect(num_cores, near_memory=True)
+    return MemoryHierarchy(l1ds, DramModel(dram_timing), noc)
+
+
+def build_cpu_hierarchy(num_cores: int, dram_timing: DramTiming,
+                        l1_size: int = 32 * 1024, l1_assoc: int = 8,
+                        l1_latency: int = 4,
+                        l2_size: int = 512 * 1024, l2_assoc: int = 16,
+                        l2_latency: int = 16,
+                        l3_per_core: int = 2 * 1024 * 1024,
+                        l3_assoc: int = 16,
+                        l3_latency: int = 35) -> MemoryHierarchy:
+    """CPU shape (Table I): L1D + L2 per core, shared L3, DDR4."""
+    l1ds = [
+        Cache(f"L1D{c}", l1_size, l1_assoc, l1_latency)
+        for c in range(num_cores)
+    ]
+    l2s = [
+        Cache(f"L2-{c}", l2_size, l2_assoc, l2_latency)
+        for c in range(num_cores)
+    ]
+    l3 = Cache("L3", l3_per_core * num_cores, l3_assoc, l3_latency)
+    noc = MeshInterconnect(num_cores, near_memory=False)
+    return MemoryHierarchy(l1ds, DramModel(dram_timing), noc,
+                           l2s=l2s, l3=l3)

@@ -1,0 +1,75 @@
+"""Memory request descriptors.
+
+The distinction the paper leans on throughout is *normal data* versus
+*metadata* (PTE) traffic: NDPage's first mechanism treats the two
+differently at the L1 cache (Section V-A).  Every request in the
+simulator therefore carries a :class:`RequestKind` so caches, DRAM and
+statistics can attribute traffic correctly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class RequestKind(enum.Enum):
+    """What a memory request is fetching."""
+
+    DATA = "data"          # the program's own loads/stores
+    METADATA = "metadata"  # page-table entries touched by a walk
+    INSTRUCTION = "instruction"
+
+    @property
+    def is_metadata(self) -> bool:
+        return self is RequestKind.METADATA
+
+
+class AccessType(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class MemoryRequest:
+    """A single line-granularity physical memory request.
+
+    Attributes:
+        paddr: physical byte address (the hierarchy works at line
+            granularity internally).
+        kind: data vs metadata vs instruction, for attribution and for
+            NDPage's metadata bypass decision.
+        access: read or write.
+        core_id: issuing core, used by the DRAM model for per-core stats.
+        bypass_l1: when True the request must not be looked up in, nor
+            allocated into, the first-level cache (NDPage Section V-A).
+    """
+
+    paddr: int
+    kind: RequestKind = RequestKind.DATA
+    access: AccessType = AccessType.READ
+    core_id: int = 0
+    bypass_l1: bool = False
+
+    def with_bypass(self) -> "MemoryRequest":
+        """Copy of this request flagged to bypass the L1 cache."""
+        return MemoryRequest(
+            paddr=self.paddr,
+            kind=self.kind,
+            access=self.access,
+            core_id=self.core_id,
+            bypass_l1=True,
+        )
+
+
+def read(paddr: int, kind: RequestKind = RequestKind.DATA,
+         core_id: int = 0) -> MemoryRequest:
+    """Convenience constructor for a read request."""
+    return MemoryRequest(paddr=paddr, kind=kind, core_id=core_id)
+
+
+def write(paddr: int, kind: RequestKind = RequestKind.DATA,
+          core_id: int = 0) -> MemoryRequest:
+    """Convenience constructor for a write request."""
+    return MemoryRequest(paddr=paddr, kind=kind,
+                         access=AccessType.WRITE, core_id=core_id)

@@ -1,0 +1,20 @@
+"""MMU substrate: TLBs, page-walk caches, walker, MMU composition."""
+
+from repro.mmu.mmu import Mmu, MmuStats, TranslationOutcome
+from repro.mmu.pwc import PageWalkCache, PwcSet
+from repro.mmu.tlb import Tlb, TlbHierarchy, build_table1_tlbs
+from repro.mmu.walker import PageTableWalker, WalkOutcome, WalkerStats
+
+__all__ = [
+    "Mmu",
+    "MmuStats",
+    "PageTableWalker",
+    "PageWalkCache",
+    "PwcSet",
+    "Tlb",
+    "TlbHierarchy",
+    "TranslationOutcome",
+    "WalkOutcome",
+    "WalkerStats",
+    "build_table1_tlbs",
+]

@@ -1,0 +1,121 @@
+"""Memory-management unit: TLB hierarchy + walker + OS fault path.
+
+``translate`` implements the Fig. 3 / Fig. 11 flow for one reference:
+
+1. probe the TLBs (L1 4 KB and 2 MB in parallel, then L2);
+2. on a full miss, let the OS resolve any page fault (demand paging),
+   then run the page-table walker;
+3. install the resulting translation back into the TLBs.
+
+Translation cycles (TLB + walk) and OS fault cycles are accounted
+separately: the paper's "address translation overhead" (Fig. 5) is the
+former, while end-to-end speedups include both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.mmu.tlb import TlbHierarchy
+from repro.mmu.walker import PageTableWalker
+from repro.sim.stats import LatencyStats
+from repro.vm.address import vpn
+from repro.vm.os_model import OSMemoryManager
+
+
+@dataclass
+class TranslationOutcome:
+    """What one address translation cost and produced."""
+
+    paddr: int
+    latency: float        # TLB + walk cycles (the translation overhead)
+    fault_cycles: float   # OS demand-paging cycles, charged separately
+    tlb_hit: bool
+    walked: bool
+
+
+@dataclass
+class MmuStats:
+    translations: int = 0
+    tlb_hits: int = 0
+    walks: int = 0
+    translation_cycles: float = 0.0
+    fault_cycles: float = 0.0
+    walk_latency: LatencyStats = field(default_factory=LatencyStats)
+
+    @property
+    def tlb_miss_rate(self) -> float:
+        if self.translations == 0:
+            return 0.0
+        return 1.0 - self.tlb_hits / self.translations
+
+    def reset(self) -> None:
+        self.translations = 0
+        self.tlb_hits = 0
+        self.walks = 0
+        self.translation_cycles = 0.0
+        self.fault_cycles = 0.0
+        self.walk_latency.reset()
+
+
+class Mmu:
+    """Per-core MMU sharing a page table and OS with its siblings.
+
+    Args:
+        core_id: owning core.
+        tlbs: private TLB hierarchy.
+        walker: private page-table walker (shared table behind it).
+        os_model: shared OS memory manager (fault handling).
+        ideal: when True, every translation hits a zero-latency TLB —
+            the paper's *Ideal* mechanism.  Demand-paging still occurs
+            (frames must exist), and its cost is still charged, so the
+            comparison against real mechanisms stays apples-to-apples.
+    """
+
+    def __init__(self, core_id: int, tlbs: TlbHierarchy,
+                 walker: PageTableWalker, os_model: OSMemoryManager,
+                 ideal: bool = False):
+        self.core_id = core_id
+        self.tlbs = tlbs
+        self.walker = walker
+        self.os = os_model
+        self.ideal = ideal
+        self.stats = MmuStats()
+
+    def translate(self, now: float, vaddr: int) -> TranslationOutcome:
+        """Translate ``vaddr`` for an access issued at cycle ``now``."""
+        self.stats.translations += 1
+        page = vpn(vaddr)
+
+        if self.ideal:
+            fault_cycles = self.os.ensure_mapped(vaddr, site=self.core_id)
+            translation = self.os.page_table.lookup(page)
+            self.stats.tlb_hits += 1
+            self.stats.fault_cycles += fault_cycles
+            return TranslationOutcome(
+                paddr=translation.paddr(vaddr), latency=0.0,
+                fault_cycles=fault_cycles, tlb_hit=True, walked=False)
+
+        translation, latency = self.tlbs.lookup(page)
+        if translation is not None:
+            self.stats.tlb_hits += 1
+            self.stats.translation_cycles += latency
+            return TranslationOutcome(
+                paddr=translation.paddr(vaddr), latency=latency,
+                fault_cycles=0.0, tlb_hit=True, walked=False)
+
+        # Full TLB miss: resolve any fault, then walk.
+        fault_cycles = self.os.ensure_mapped(vaddr, site=self.core_id)
+        outcome = self.walker.walk(now + latency + fault_cycles, page)
+        latency += outcome.latency
+        translation = self.os.page_table.lookup(page)
+        self.tlbs.insert(page, translation)
+
+        self.stats.walks += 1
+        self.stats.translation_cycles += latency
+        self.stats.fault_cycles += fault_cycles
+        self.stats.walk_latency.record(outcome.latency)
+        return TranslationOutcome(
+            paddr=translation.paddr(vaddr), latency=latency,
+            fault_cycles=fault_cycles, tlb_hit=False, walked=True)

@@ -1,0 +1,154 @@
+"""Translation lookaside buffers (Table I MMU row).
+
+A :class:`Tlb` is one set-associative structure; :class:`TlbHierarchy`
+wires together the paper's configuration: a 64-entry 4-way L1 D-TLB for
+4 KB pages, a small L1 TLB for 2 MB pages, and a 1536-entry 12-cycle
+shared L2 TLB.
+
+Microarchitectural choice (documented in EXPERIMENTS.md): the L2 TLB
+holds 4 KB translations only — 2 MB pages are cached solely in the
+dedicated L1 2 MB TLB, as on several real cores.  The paper's Table I
+does not specify; this choice is what gives the Huge Page baseline a
+finite TLB reach at dataset scale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.vm.address import HUGE_PAGE_SHIFT, PAGE_SHIFT
+from repro.vm.base import Translation
+from repro.sim.stats import HitMissStats
+
+
+class Tlb:
+    """One set-associative TLB with LRU replacement."""
+
+    def __init__(self, name: str, entries: int, associativity: int,
+                 latency: int, page_shift: int = PAGE_SHIFT):
+        if entries % associativity != 0:
+            raise ValueError(
+                f"{name}: {entries} entries not divisible by "
+                f"associativity {associativity}")
+        self.name = name
+        self.entries = entries
+        self.associativity = associativity
+        self.latency = latency
+        self.page_shift = page_shift
+        self.num_sets = entries // associativity
+        self.stats = HitMissStats()
+        self._sets: List[Dict[int, Translation]] = [
+            {} for _ in range(self.num_sets)
+        ]
+
+    def lookup(self, key: int) -> Optional[Translation]:
+        """Probe for ``key`` (a VPN at this TLB's page granularity)."""
+        tlb_set = self._sets[key % self.num_sets]
+        translation = tlb_set.get(key)
+        if translation is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        tlb_set[key] = tlb_set.pop(key)  # refresh LRU position
+        return translation
+
+    def insert(self, key: int, translation: Translation) -> None:
+        tlb_set = self._sets[key % self.num_sets]
+        if key in tlb_set:
+            tlb_set[key] = translation
+            return
+        if len(tlb_set) >= self.associativity:
+            oldest = next(iter(tlb_set))
+            del tlb_set[oldest]
+        tlb_set[key] = translation
+
+    def invalidate(self, key: int) -> bool:
+        tlb_set = self._sets[key % self.num_sets]
+        if key in tlb_set:
+            del tlb_set[key]
+            return True
+        return False
+
+    def flush(self) -> None:
+        for tlb_set in self._sets:
+            tlb_set.clear()
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+
+class TlbHierarchy:
+    """L1 (4 KB + 2 MB) and L2 TLBs for one core."""
+
+    def __init__(self, l1_small: Tlb, l1_huge: Tlb, l2: Tlb):
+        if l1_small.page_shift != PAGE_SHIFT:
+            raise ValueError("l1_small must be a 4 KB TLB")
+        if l1_huge.page_shift != HUGE_PAGE_SHIFT:
+            raise ValueError("l1_huge must be a 2 MB TLB")
+        self.l1_small = l1_small
+        self.l1_huge = l1_huge
+        self.l2 = l2
+        self.lookups = 0
+        self.full_misses = 0
+
+    @staticmethod
+    def _huge_key(page: int) -> int:
+        return page >> (HUGE_PAGE_SHIFT - PAGE_SHIFT)
+
+    def lookup(self, page: int):
+        """Translate 4 KB-granularity VPN ``page``.
+
+        Returns ``(translation_or_None, latency_cycles)``.  Both L1
+        structures are probed in parallel (one L1 latency); the L2 is
+        probed only on an L1 miss, adding its latency, and refills the
+        L1 on a hit.
+        """
+        self.lookups += 1
+        latency = self.l1_small.latency
+        translation = self.l1_small.lookup(page)
+        if translation is not None:
+            return translation, latency
+        translation = self.l1_huge.lookup(self._huge_key(page))
+        if translation is not None:
+            return translation, latency
+
+        latency += self.l2.latency
+        translation = self.l2.lookup(page)
+        if translation is not None:
+            self.l1_small.insert(page, translation)
+            return translation, latency
+        self.full_misses += 1
+        return None, latency
+
+    def insert(self, page: int, translation: Translation) -> None:
+        """Install a walk result at the right granularity."""
+        if translation.page_shift == PAGE_SHIFT:
+            self.l1_small.insert(page, translation)
+            self.l2.insert(page, translation)
+        else:
+            self.l1_huge.insert(self._huge_key(page), translation)
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of translations that needed a page walk."""
+        if self.lookups == 0:
+            return 0.0
+        return self.full_misses / self.lookups
+
+    def flush(self) -> None:
+        self.l1_small.flush()
+        self.l1_huge.flush()
+        self.l2.flush()
+
+
+def build_table1_tlbs(core_id: int = 0) -> TlbHierarchy:
+    """The paper's MMU TLB configuration (Table I) for one core."""
+    return TlbHierarchy(
+        l1_small=Tlb(f"L1-DTLB{core_id}", entries=64, associativity=4,
+                     latency=1, page_shift=PAGE_SHIFT),
+        l1_huge=Tlb(f"L1-2M-TLB{core_id}", entries=32, associativity=4,
+                    latency=1, page_shift=HUGE_PAGE_SHIFT),
+        l2=Tlb(f"L2-TLB{core_id}", entries=1536, associativity=12,
+               latency=12, page_shift=PAGE_SHIFT),
+    )

@@ -1,0 +1,127 @@
+"""Hardware page-table walker.
+
+Turns the structural walk (:meth:`PageTable.walk_stages`) into timed
+memory traffic:
+
+* sequential stages pay their latencies back to back (a radix walk is a
+  pointer chase);
+* parallel accesses within a stage overlap (elastic-cuckoo ways), the
+  stage costing the slowest probe;
+* before touching memory the walker probes the per-level PWCs and skips
+  every stage at or above the deepest hit;
+* each PTE request is tagged METADATA and, under NDPage's policy,
+  flagged to bypass the L1 cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.bypass import BypassPolicy, NoBypass
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.mem.request import MemoryRequest, RequestKind
+from repro.mmu.pwc import PwcSet
+from repro.sim.stats import LatencyStats
+from repro.vm.base import PageTable, WalkStage
+
+
+@dataclass
+class WalkOutcome:
+    """Timing summary of one page walk."""
+
+    latency: float
+    memory_accesses: int
+    pwc_hit_level: Optional[str]
+
+
+@dataclass
+class WalkerStats:
+    walks: int = 0
+    memory_accesses: int = 0
+    latency: LatencyStats = field(default_factory=LatencyStats)
+
+    def reset(self) -> None:
+        self.walks = 0
+        self.memory_accesses = 0
+        self.latency.reset()
+
+
+class PageTableWalker:
+    """One core's PTW engine."""
+
+    def __init__(self, table: PageTable, hierarchy: MemoryHierarchy,
+                 core_id: int, pwcs: Optional[PwcSet] = None,
+                 bypass: Optional[BypassPolicy] = None):
+        self.table = table
+        self.hierarchy = hierarchy
+        self.core_id = core_id
+        self.pwcs = pwcs
+        self.bypass = bypass if bypass is not None else NoBypass()
+        self.stats = WalkerStats()
+
+    def _probe_pwcs(self, stages: List[List[WalkStage]]) -> int:
+        """Probe every level's PWC; return index of first stage to walk.
+
+        Hardware probes all level caches in parallel and resumes the
+        walk below the deepest hit.  Probing records hit/miss at every
+        level so per-level hit rates (Section V-C) are measurable.
+        """
+        if self.pwcs is None:
+            return 0
+        start = 0
+        for i, stage in enumerate(stages):
+            if len(stage) != 1 or stage[0].pwc_key is None:
+                continue
+            cache = self.pwcs.cache_for(stage[0].level)
+            if cache is None:
+                continue
+            if cache.lookup(stage[0].pwc_key):
+                start = i + 1
+        return start
+
+    def _fill_pwcs(self, stages: List[List[WalkStage]]) -> None:
+        if self.pwcs is None:
+            return
+        for stage in stages:
+            if len(stage) != 1 or stage[0].pwc_key is None:
+                continue
+            cache = self.pwcs.cache_for(stage[0].level)
+            if cache is not None:
+                cache.insert(stage[0].pwc_key)
+
+    def walk(self, now: float, page: int) -> WalkOutcome:
+        """Walk the table for 4 KB-granularity VPN ``page`` at ``now``."""
+        stages = self.table.walk_stages(page)
+        self.stats.walks += 1
+        if not stages:  # ideal table: nothing to fetch
+            self.stats.latency.record(0.0)
+            return WalkOutcome(0.0, 0, None)
+
+        start_index = self._probe_pwcs(stages)
+        pwc_hit_level = (
+            stages[start_index - 1][0].level if start_index > 0 else None
+        )
+        latency = float(self.pwcs.latency) if self.pwcs is not None else 0.0
+        accesses = 0
+        clock = now + latency
+        for stage in stages[start_index:]:
+            stage_latency = 0.0
+            for step in stage:
+                request = MemoryRequest(
+                    paddr=step.pte_paddr,
+                    kind=RequestKind.METADATA,
+                    core_id=self.core_id,
+                    bypass_l1=self.bypass.should_bypass(step.level),
+                )
+                access_latency = self.hierarchy.access(clock, request)
+                if access_latency > stage_latency:
+                    stage_latency = access_latency
+                accesses += 1
+            clock += stage_latency
+        self._fill_pwcs(stages)
+
+        latency = clock - now
+        self.stats.memory_accesses += accesses
+        self.stats.latency.record(latency)
+        return WalkOutcome(latency, accesses, pwc_hit_level)

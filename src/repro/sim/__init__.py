@@ -1,0 +1,38 @@
+"""Simulation driver: configs, cores, engine, system, runner."""
+
+from repro.sim.config import (
+    DEFAULT_SCALE,
+    SYSTEM_CPU,
+    SYSTEM_NDP,
+    CacheParams,
+    CoreParams,
+    PwcParams,
+    SystemConfig,
+    TlbParams,
+    cpu_config,
+    ndp_config,
+)
+from repro.sim.core_model import Core, CoreStats
+from repro.sim.engine import SimulationEngine
+from repro.sim.runner import RunResult, run_mechanisms, run_once
+from repro.sim.system import System
+
+__all__ = [
+    "CacheParams",
+    "Core",
+    "CoreParams",
+    "CoreStats",
+    "DEFAULT_SCALE",
+    "PwcParams",
+    "RunResult",
+    "SYSTEM_CPU",
+    "SYSTEM_NDP",
+    "SimulationEngine",
+    "System",
+    "SystemConfig",
+    "TlbParams",
+    "cpu_config",
+    "ndp_config",
+    "run_mechanisms",
+    "run_once",
+]

@@ -1,0 +1,159 @@
+"""Simulation configuration mirroring the paper's Table I.
+
+:class:`SystemConfig` is the single object the experiment runner needs:
+it names the platform (CPU vs NDP), core count, translation mechanism,
+workload and scale, and carries the Table I hardware parameters with
+the paper's values as defaults.
+
+``scale`` shrinks *workload footprints* (and physical memory with them)
+so runs complete in seconds; hardware structure sizes stay at Table I
+values, keeping every capacity ratio that matters — footprint versus
+TLB reach, PTE working set versus L1 — in the paper's regime (see
+DESIGN.md, "Timing model substitution").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.mechanisms import get_mechanism
+from repro.vm.os_model import FaultCosts
+
+GIB = 1024 ** 3
+
+#: Paper platform identifiers.
+SYSTEM_CPU = "cpu"
+SYSTEM_NDP = "ndp"
+
+#: Default footprint scaling: full paper-scale datasets.  Demand paging
+#: makes simulation cost proportional to executed references, not to
+#: dataset size, so running the real 8-33 GB footprints (over a real
+#: 16 GB physical memory) is affordable and keeps every capacity ratio
+#: — TLB reach, PTE working set vs L1, huge-page contiguity demand —
+#: exactly at the paper's operating point.  Smaller values exist for
+#: fast unit tests and for deliberately provoking memory pressure.
+DEFAULT_SCALE = 1.0
+
+
+@dataclass(frozen=True)
+class CacheParams:
+    """One cache level (sizes in bytes, latency in cycles)."""
+
+    size: int
+    associativity: int
+    latency: int
+
+
+@dataclass(frozen=True)
+class TlbParams:
+    """Table I MMU row."""
+
+    l1_small_entries: int = 64
+    l1_small_assoc: int = 4
+    l1_small_latency: int = 1
+    l1_huge_entries: int = 32
+    l1_huge_assoc: int = 4
+    l2_entries: int = 1536
+    l2_assoc: int = 12
+    l2_latency: int = 12
+
+
+@dataclass(frozen=True)
+class PwcParams:
+    """Per-level page-walk cache geometry."""
+
+    entries: int = 32
+    associativity: int = 4
+    latency: int = 1
+
+
+@dataclass(frozen=True)
+class CoreParams:
+    """Core timing model knobs.
+
+    ``mlp`` bounds outstanding data misses (memory-level parallelism);
+    translation is serialized, as walks sit on the critical path.
+    ``gap_cycles`` models the non-memory instructions between two memory
+    references (each retiring at 1 IPC).
+    """
+
+    frequency_ghz: float = 2.6
+    mlp: int = 2
+    issue_cycles: int = 1
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Everything needed to build and run one simulation."""
+
+    system: str = SYSTEM_NDP           # 'ndp' or 'cpu'
+    num_cores: int = 1
+    mechanism: str = "radix"
+    workload: str = "rnd"
+    scale: float = DEFAULT_SCALE
+    refs_per_core: int = 50_000
+    #: Untimed demand-paging warmup: each core's first ``warmup_refs``
+    #: references are pre-faulted before timing starts, mirroring the
+    #: paper's methodology of measuring a region of interest after the
+    #: applications have initialized their datasets.  None means "same
+    #: as refs_per_core" (the ROI replays a fully warmed footprint);
+    #: 0 disables prefaulting (cold start).
+    warmup_refs: Optional[int] = None
+    seed: int = 42
+    phys_bytes: Optional[int] = None   # default: 16 GiB * scale
+    #: Fraction of 2 MB blocks already fragmented at boot by unmovable
+    #: kernel allocations (see FrameAllocator; the THP pathology of the
+    #: paper's reference [23]).  Affects only 2 MB allocation success.
+    boot_fragmentation: float = 0.55
+    #: Fraction of huge-eligible regions THP actually promotes to 2 MB
+    #: (khugepaged lag + utilization thresholds; Ingens [23]).  Only the
+    #: Huge Page mechanism is affected.
+    thp_promotion_fraction: float = 0.2
+    l1: CacheParams = CacheParams(32 * 1024, 8, 4)
+    l2: CacheParams = CacheParams(512 * 1024, 16, 16)      # CPU only
+    l3_per_core: CacheParams = CacheParams(2 * 1024 * 1024, 16, 35)
+    tlb: TlbParams = field(default_factory=TlbParams)
+    pwc: PwcParams = field(default_factory=PwcParams)
+    core: CoreParams = field(default_factory=CoreParams)
+    fault_costs: FaultCosts = field(default_factory=FaultCosts)
+
+    def __post_init__(self):
+        if self.system not in (SYSTEM_CPU, SYSTEM_NDP):
+            raise ValueError(f"system must be 'cpu' or 'ndp', "
+                             f"got {self.system!r}")
+        if self.num_cores < 1:
+            raise ValueError("num_cores must be >= 1")
+        if not 0 < self.scale <= 1:
+            raise ValueError("scale must be in (0, 1]")
+        if self.refs_per_core < 1:
+            raise ValueError("refs_per_core must be >= 1")
+        get_mechanism(self.mechanism)  # validate early
+
+    @property
+    def physical_bytes(self) -> int:
+        """Physical memory size (Table I: 16 GB, scaled with workloads)."""
+        if self.phys_bytes is not None:
+            return self.phys_bytes
+        return int(16 * GIB * self.scale)
+
+    def with_mechanism(self, mechanism: str) -> "SystemConfig":
+        return replace(self, mechanism=mechanism)
+
+    def with_cores(self, num_cores: int) -> "SystemConfig":
+        return replace(self, num_cores=num_cores)
+
+    def with_workload(self, workload: str) -> "SystemConfig":
+        return replace(self, workload=workload)
+
+
+def ndp_config(**overrides) -> SystemConfig:
+    """NDP platform defaults (Table I right column)."""
+    overrides.setdefault("system", SYSTEM_NDP)
+    return SystemConfig(**overrides)
+
+
+def cpu_config(**overrides) -> SystemConfig:
+    """CPU platform defaults (Table I left column)."""
+    overrides.setdefault("system", SYSTEM_CPU)
+    return SystemConfig(**overrides)

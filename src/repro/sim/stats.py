@@ -1,0 +1,121 @@
+"""Lightweight named-counter statistics.
+
+Every architectural component (TLBs, caches, DRAM channels, walkers)
+keeps its own small stat objects; the experiment runner aggregates them
+into a flat mapping for reporting.  A tiny hand-rolled class is used
+instead of ``collections.Counter`` so that attribute access stays cheap
+on the simulator hot path and so ratios are computed in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """``numerator / denominator`` with a 0.0 guard for empty runs."""
+    if denominator == 0:
+        return 0.0
+    return numerator / denominator
+
+
+@dataclass
+class HitMissStats:
+    """Hit/miss counters shared by TLBs, PWCs and caches."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return ratio(self.hits, self.accesses)
+
+    @property
+    def miss_rate(self) -> float:
+        return ratio(self.misses, self.accesses)
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def merge(self, other: "HitMissStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+
+
+@dataclass
+class LatencyStats:
+    """Accumulates a latency distribution (sum / count / max)."""
+
+    total: float = 0.0
+    count: int = 0
+    maximum: float = 0.0
+
+    def record(self, value: float) -> None:
+        self.total += value
+        self.count += 1
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return ratio(self.total, self.count)
+
+    def reset(self) -> None:
+        self.total = 0.0
+        self.count = 0
+        self.maximum = 0.0
+
+    def merge(self, other: "LatencyStats") -> None:
+        self.total += other.total
+        self.count += other.count
+        if other.maximum > self.maximum:
+            self.maximum = other.maximum
+
+
+@dataclass
+class CounterBag:
+    """A free-form bag of named integer counters."""
+
+    counters: dict = field(default_factory=dict)
+
+    def add(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def as_dict(self) -> dict:
+        return dict(self.counters)
+
+    def reset(self) -> None:
+        self.counters.clear()
+
+    def merge(self, other: "CounterBag") -> None:
+        for name, value in other.counters.items():
+            self.add(name, value)
+
+
+def weighted_mean(values, weights) -> float:
+    """Weighted arithmetic mean, 0.0 when weights sum to zero."""
+    total_weight = sum(weights)
+    if total_weight == 0:
+        return 0.0
+    return sum(v * w for v, w in zip(values, weights)) / total_weight
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean of positive values (speedup aggregation)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ValueError("geometric mean requires positive values")
+        product *= value
+    return product ** (1.0 / len(values))

@@ -1,0 +1,150 @@
+"""System assembly: cores + MMUs + page table + hierarchy from a config.
+
+``System`` wires one simulated machine according to a
+:class:`~repro.sim.config.SystemConfig`: the platform's memory hierarchy
+(CPU vs NDP from Table I), one shared page table and OS built from the
+mechanism spec, and per-core TLBs / PWCs / walkers / MMUs over shared
+DRAM — the multithreaded, shared-dataset execution model the paper
+evaluates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.mechanisms import MechanismSpec, get_mechanism
+from repro.mem.dram import DDR4_2400, HBM2
+from repro.mem.hierarchy import (
+    MemoryHierarchy,
+    build_cpu_hierarchy,
+    build_ndp_hierarchy,
+)
+from repro.mmu.mmu import Mmu
+from repro.mmu.pwc import PwcSet
+from repro.mmu.tlb import Tlb, TlbHierarchy
+from repro.mmu.walker import PageTableWalker
+from repro.sim.config import SYSTEM_NDP, SystemConfig
+from repro.sim.core_model import Core
+from repro.sim.engine import SimulationEngine
+from repro.vm.address import HUGE_PAGE_SHIFT, PAGE_SHIFT
+from repro.vm.frames import FrameAllocator
+from repro.vm.os_model import OSMemoryManager
+from repro.workloads.registry import make_workload
+
+
+class System:
+    """One fully assembled simulated machine, ready to run."""
+
+    def __init__(self, config: SystemConfig):
+        self.config = config
+        self.spec: MechanismSpec = get_mechanism(config.mechanism)
+        self.workload = make_workload(
+            config.workload, scale=config.scale, seed=config.seed)
+        self.allocator = FrameAllocator(
+            config.physical_bytes,
+            fragmentation=config.boot_fragmentation)
+        self.page_table = self.spec.build_table(self.allocator)
+        self.os = OSMemoryManager(
+            self.allocator, self.page_table,
+            policy=self.spec.paging_policy, costs=config.fault_costs,
+            thp_promotion_fraction=config.thp_promotion_fraction)
+        self.hierarchy = self._build_hierarchy()
+        self.pwc_sets: List[Optional[PwcSet]] = []
+        self.mmus: List[Mmu] = []
+        self.cores: List[Core] = []
+        for core_id in range(config.num_cores):
+            self._add_core(core_id)
+        self.engine = SimulationEngine(self.cores)
+        self._prefault()
+
+    def _prefault(self) -> None:
+        """Untimed warmup: demand-page each core's early footprint.
+
+        Runs every core's first ``warmup_refs`` references through the
+        OS fault path only — no cycles are charged, but allocator and
+        page-table state (huge-page placement, contiguity consumption,
+        ECH growth, reclaim under pressure) fully materialize, exactly
+        like the paper's untimed initialization phase.  Cores are
+        interleaved so their allocations interleave too.
+        """
+        cfg = self.config
+        warmup = (cfg.refs_per_core if cfg.warmup_refs is None
+                  else cfg.warmup_refs)
+        if warmup <= 0:
+            return
+        streams = [
+            self.workload.stream(core_id, warmup)
+            for core_id in range(cfg.num_cores)
+        ]
+        ensure_mapped = self.os.ensure_mapped
+        active = list(range(cfg.num_cores))
+        while active:
+            still_active = []
+            for core_id in active:
+                stream = streams[core_id]
+                for _ in range(256):
+                    item = next(stream, None)
+                    if item is None:
+                        break
+                    ensure_mapped(item[0], site=core_id)
+                else:
+                    still_active.append(core_id)
+            active = still_active
+        # Warmup fault work is setup, not ROI: reset the OS counters.
+        self.os.stats = type(self.os.stats)()
+
+    def _build_hierarchy(self) -> MemoryHierarchy:
+        cfg = self.config
+        if cfg.system == SYSTEM_NDP:
+            return build_ndp_hierarchy(
+                cfg.num_cores, HBM2,
+                l1_size=cfg.l1.size, l1_assoc=cfg.l1.associativity,
+                l1_latency=cfg.l1.latency)
+        return build_cpu_hierarchy(
+            cfg.num_cores, DDR4_2400,
+            l1_size=cfg.l1.size, l1_assoc=cfg.l1.associativity,
+            l1_latency=cfg.l1.latency,
+            l2_size=cfg.l2.size, l2_assoc=cfg.l2.associativity,
+            l2_latency=cfg.l2.latency,
+            l3_per_core=cfg.l3_per_core.size,
+            l3_assoc=cfg.l3_per_core.associativity,
+            l3_latency=cfg.l3_per_core.latency)
+
+    def _build_tlbs(self, core_id: int) -> TlbHierarchy:
+        t = self.config.tlb
+        return TlbHierarchy(
+            l1_small=Tlb(f"L1-DTLB{core_id}", t.l1_small_entries,
+                         t.l1_small_assoc, t.l1_small_latency,
+                         page_shift=PAGE_SHIFT),
+            l1_huge=Tlb(f"L1-2M-TLB{core_id}", t.l1_huge_entries,
+                        t.l1_huge_assoc, t.l1_small_latency,
+                        page_shift=HUGE_PAGE_SHIFT),
+            l2=Tlb(f"L2-TLB{core_id}", t.l2_entries, t.l2_assoc,
+                   t.l2_latency, page_shift=PAGE_SHIFT),
+        )
+
+    def _add_core(self, core_id: int) -> None:
+        cfg = self.config
+        tlbs = self._build_tlbs(core_id)
+        if self.spec.pwc_levels:
+            pwcs: Optional[PwcSet] = PwcSet(
+                self.spec.pwc_levels, entries=cfg.pwc.entries,
+                associativity=cfg.pwc.associativity,
+                latency=cfg.pwc.latency)
+        else:
+            pwcs = None
+        walker = PageTableWalker(
+            self.page_table, self.hierarchy, core_id,
+            pwcs=pwcs, bypass=self.spec.build_bypass())
+        mmu = Mmu(core_id, tlbs, walker, self.os, ideal=self.spec.ideal)
+        stream = self.workload.stream(core_id, cfg.refs_per_core)
+        core = Core(core_id, mmu, self.hierarchy, stream,
+                    gap_cycles=self.workload.gap_cycles,
+                    mlp=cfg.core.mlp, issue_cycles=cfg.core.issue_cycles)
+        self.pwc_sets.append(pwcs)
+        self.mmus.append(mmu)
+        self.cores.append(core)
+
+    def run(self) -> float:
+        """Execute all cores to completion; return global cycles."""
+        return self.engine.run()

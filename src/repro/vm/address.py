@@ -1,0 +1,117 @@
+"""x86-64 address manipulation helpers.
+
+All page-table designs in this package share the x86-64 virtual address
+layout (Fig. 2 of the paper): a 48-bit canonical virtual address whose
+upper 36 bits are split into four 9-bit radix indices (PL4..PL1) above a
+12-bit page offset.  The flattened L2/L1 table of NDPage (Fig. 9) instead
+consumes the bottom two indices as one 18-bit index.
+
+Everything here is a plain function on integers; these run on the
+simulator's hot path, so no classes are introduced.
+"""
+
+from __future__ import annotations
+
+# Base page geometry -------------------------------------------------------
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT            # 4 KB
+HUGE_PAGE_SHIFT = 21
+HUGE_PAGE_SIZE = 1 << HUGE_PAGE_SHIFT  # 2 MB
+
+# Cache geometry (Table I: 64 B lines everywhere) ---------------------------
+LINE_SHIFT = 6
+LINE_SIZE = 1 << LINE_SHIFT
+
+# Radix page-table geometry -------------------------------------------------
+LEVEL_BITS = 9
+ENTRIES_PER_NODE = 1 << LEVEL_BITS     # 512 entries per 4 KB node
+PTE_SIZE = 8                           # 64-bit entries
+VA_BITS = 48
+NUM_LEVELS = 4
+
+# Flattened L2/L1 geometry (NDPage, Section V-B) ----------------------------
+FLAT_LEVEL_BITS = 2 * LEVEL_BITS       # 18 bits
+FLAT_ENTRIES = 1 << FLAT_LEVEL_BITS    # 262,144 entries
+FLAT_NODE_BYTES = FLAT_ENTRIES * PTE_SIZE  # one 2 MB node
+
+_LEVEL_MASK = ENTRIES_PER_NODE - 1
+_FLAT_MASK = FLAT_ENTRIES - 1
+VA_MASK = (1 << VA_BITS) - 1
+
+
+def page_offset(vaddr: int) -> int:
+    """Offset of ``vaddr`` within its 4 KB page."""
+    return vaddr & (PAGE_SIZE - 1)
+
+
+def vpn(vaddr: int) -> int:
+    """Virtual page number (4 KB granularity) of ``vaddr``."""
+    return (vaddr & VA_MASK) >> PAGE_SHIFT
+
+
+def huge_vpn(vaddr: int) -> int:
+    """Virtual page number at 2 MB granularity."""
+    return (vaddr & VA_MASK) >> HUGE_PAGE_SHIFT
+
+
+def vpn_to_vaddr(page: int) -> int:
+    """First virtual address covered by 4 KB-granularity VPN ``page``."""
+    return page << PAGE_SHIFT
+
+
+def level_index(page: int, level: int) -> int:
+    """Radix index used at page-table ``level`` (4 = root .. 1 = leaf).
+
+    ``page`` is a 4 KB-granularity VPN.  Matches the hardware split of the
+    36 translated bits into four 9-bit groups.
+    """
+    if not 1 <= level <= NUM_LEVELS:
+        raise ValueError(f"radix level must be 1..4, got {level}")
+    return (page >> (LEVEL_BITS * (level - 1))) & _LEVEL_MASK
+
+
+def flat_index(page: int) -> int:
+    """18-bit index into a flattened L2/L1 node (NDPage)."""
+    return page & _FLAT_MASK
+
+
+def flat_tag(page: int) -> int:
+    """Upper VPN bits selecting *which* flattened node covers ``page``."""
+    return page >> FLAT_LEVEL_BITS
+
+
+def make_vpn(i4: int, i3: int, i2: int, i1: int) -> int:
+    """Compose a VPN from its four radix indices (inverse of level_index)."""
+    for name, idx in (("i4", i4), ("i3", i3), ("i2", i2), ("i1", i1)):
+        if not 0 <= idx < ENTRIES_PER_NODE:
+            raise ValueError(f"{name} out of range: {idx}")
+    return (((i4 << LEVEL_BITS | i3) << LEVEL_BITS | i2) << LEVEL_BITS) | i1
+
+
+def line_of(paddr: int) -> int:
+    """Cache-line number of physical address ``paddr``."""
+    return paddr >> LINE_SHIFT
+
+
+def align_down(addr: int, alignment: int) -> int:
+    """Round ``addr`` down to a multiple of ``alignment`` (a power of two)."""
+    return addr & ~(alignment - 1)
+
+
+def align_up(addr: int, alignment: int) -> int:
+    """Round ``addr`` up to a multiple of ``alignment`` (a power of two)."""
+    return (addr + alignment - 1) & ~(alignment - 1)
+
+
+def is_canonical(vaddr: int) -> bool:
+    """True when ``vaddr`` fits the simulated 48-bit user address space."""
+    return 0 <= vaddr < (1 << VA_BITS)
+
+
+def pages_in_range(base: int, length: int) -> range:
+    """VPNs of every 4 KB page overlapping ``[base, base + length)``."""
+    if length <= 0:
+        return range(0)
+    first = vpn(base)
+    last = vpn(base + length - 1)
+    return range(first, last + 1)

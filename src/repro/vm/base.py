@@ -1,0 +1,91 @@
+"""Abstract page-table interface shared by every translation mechanism.
+
+A page table in this simulator answers three questions:
+
+1. *Functional*: what physical frame backs this VPN (``lookup``)?
+2. *Structural*: which physical PTE addresses would a hardware walker
+   touch, in what order (``walk_stages``)?  Stages are a list of groups;
+   groups are sequential (radix levels), the accesses *within* a group
+   happen in parallel (elastic-cuckoo ways).
+3. *Spatial*: how full is each level (``occupancy``), the paper's
+   Fig. 8 evidence for flattening.
+
+The walker (:mod:`repro.mmu.walker`) turns stages into timed memory
+requests; page tables themselves are timing-free.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from repro.vm.address import PAGE_SHIFT
+
+
+class Translation(NamedTuple):
+    """Result of a successful lookup."""
+
+    pfn: int         # physical frame number at ``page_shift`` granularity
+    page_shift: int  # 12 for 4 KB mappings, 21 for 2 MB mappings
+
+    def paddr(self, vaddr: int) -> int:
+        """Physical address of ``vaddr`` under this translation."""
+        offset = vaddr & ((1 << self.page_shift) - 1)
+        return (self.pfn << self.page_shift) | offset
+
+
+class WalkStage(NamedTuple):
+    """One PTE access a hardware walker would perform."""
+
+    level: str                       # 'PL4', 'PL3', 'PL2', 'PL1',
+    #                                  'PL2/1' (flattened), 'ECH-wayN'
+    pte_paddr: int                   # physical address of the PTE
+    pwc_key: Optional[Tuple[str, int]]  # page-walk-cache tag, or None
+
+
+class MappingError(Exception):
+    """Raised on invalid map/unmap operations."""
+
+
+class PageTable(ABC):
+    """Interface implemented by radix, flattened, cuckoo and ideal tables."""
+
+    #: Ordered level labels, root first (empty for hash-based tables).
+    level_names: Tuple[str, ...] = ()
+
+    @abstractmethod
+    def lookup(self, page: int) -> Optional[Translation]:
+        """Translate 4 KB-granularity VPN ``page``; None if unmapped."""
+
+    @abstractmethod
+    def map_page(self, page: int, pfn: int,
+                 page_shift: int = PAGE_SHIFT) -> None:
+        """Install a mapping.  ``page`` is always a 4 KB-granularity VPN;
+        a 2 MB mapping covers the whole aligned group containing it."""
+
+    @abstractmethod
+    def unmap_page(self, page: int) -> None:
+        """Remove a mapping (raises MappingError if absent)."""
+
+    @abstractmethod
+    def walk_stages(self, page: int) -> List[List[WalkStage]]:
+        """PTE accesses for a walk of ``page``.
+
+        Requires the page to be mapped (the MMU resolves faults before
+        walking).  Outer list = sequential stages; inner list = parallel
+        accesses within the stage.
+        """
+
+    @abstractmethod
+    def occupancy(self) -> Dict[str, float]:
+        """Mean fraction of used entries per allocated node, per level."""
+
+    @abstractmethod
+    def table_bytes(self) -> int:
+        """Physical memory consumed by the table structures themselves."""
+
+    @property
+    def mapped_pages(self) -> int:
+        """Number of 4 KB-granularity mappings installed (override where
+        cheaper bookkeeping exists)."""
+        raise NotImplementedError

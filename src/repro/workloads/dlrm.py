@@ -1,0 +1,86 @@
+"""DLRM sparse-length-sum (DLRM in Table II, 10 GB).
+
+Recommendation inference is dominated by embedding-table gathers: for
+each sample, a handful of rows are fetched from multi-GB embedding
+tables at Zipf-skewed indices (popular items are hot), each row read as
+a short sequential burst, followed by dense-MLP activity in a small hot
+region.  The gathers are the irregular, translation-bound part.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.workloads.base import Region, Workload, layout_regions
+from repro.workloads.synthetic import (
+    interleave,
+    sequential_window,
+    windowed_mixed,
+)
+
+GIB = 1024 ** 3
+MIB = 1024 ** 2
+
+ROW_BYTES = 128           # embedding dimension 32 x fp32
+LINES_PER_ROW = 2         # a row spans two cache lines
+LOOKUPS_PER_SAMPLE = 8    # pooled sparse features per sample
+DENSE_BYTES = 2 * MIB     # MLP weights: hot, cache-resident
+
+
+class DlrmWorkload(Workload):
+    """Embedding-gather dominated recommendation inference."""
+
+    name = "dlrm"
+    suite = "DLRM"
+    dataset_bytes = 10 * GIB
+    gap_cycles = 2
+
+    def __init__(self, scale: float = 1.0, seed: int = 42):
+        super().__init__(scale=scale, seed=seed)
+        emb_bytes = max(ROW_BYTES * 8192,
+                        int(self.dataset_bytes * scale) - DENSE_BYTES)
+        self.num_rows = emb_bytes // ROW_BYTES
+        self._regions = layout_regions([
+            ("embeddings", self.num_rows * ROW_BYTES),
+            ("dense", DENSE_BYTES),
+            ("output", 4 * MIB),
+        ])
+        self._emb, self._dense, self._out = self._regions
+
+    def regions(self) -> List[Region]:
+        return list(self._regions)
+
+    def _chunk(self, rng: np.random.Generator, num_refs: int,
+               state: dict) -> Tuple[np.ndarray, np.ndarray]:
+        # Per sample: LOOKUPS_PER_SAMPLE rows x LINES_PER_ROW reads,
+        # 2 dense reads, 1 output write.
+        per_sample = LOOKUPS_PER_SAMPLE * LINES_PER_ROW + 3
+        samples = -(-num_refs // per_sample)
+
+        parts: List[Tuple[np.ndarray, bool]] = []
+        for j in range(LOOKUPS_PER_SAMPLE):
+            rows = windowed_mixed(rng, self.num_rows, samples,
+                                  state, "rows", hot_fraction=0.3,
+                                  exponent=1.2, cluster_items=256)
+            row_base = self._emb.base + rows * ROW_BYTES
+            for line in range(LINES_PER_ROW):
+                parts.append((row_base + line * 64, False))
+
+        cursor = state.get("dense_cursor", 0)
+        dense_words = DENSE_BYTES // 8
+        dense_idx = sequential_window(cursor, samples) % dense_words
+        state["dense_cursor"] = int((cursor + samples) % dense_words)
+        parts.append((self._dense.base + dense_idx * 8, False))
+        parts.append((self._dense.base + ((dense_idx * 17) % dense_words)
+                      * 8, False))
+
+        out_idx = sequential_window(state.get("out_cursor", 0), samples) \
+            % (self._out.size // 8)
+        state["out_cursor"] = int((state.get("out_cursor", 0) + samples)
+                                  % (self._out.size // 8))
+        parts.append((self._out.base + out_idx * 8, True))
+
+        addresses, writes = interleave(parts)
+        return addresses[:num_refs], writes[:num_refs]

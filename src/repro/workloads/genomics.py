@@ -1,0 +1,87 @@
+"""GenomicsBench k-mer counting (GEN in Table II, 33 GB).
+
+k-mer counting streams the input sequence and, for every k-mer, updates
+a count in a giant hash table: one sequential input read, one or two
+uniformly random bucket touches, one write back.  The hash table is the
+largest footprint in the suite, which is why GEN shows the worst
+translation behaviour in the paper's motivation figures.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.workloads.base import Region, Workload, layout_regions
+from repro.workloads.synthetic import (
+    interleave,
+    sequential_window,
+    windowed_uniform,
+)
+
+GIB = 1024 ** 3
+
+BUCKET_BYTES = 16          # key + count
+CHAIN_PROBABILITY = 0.3    # fraction of updates visiting a chained slot
+
+
+class GenomicsWorkload(Workload):
+    """Hash-table-bound k-mer counting."""
+
+    name = "gen"
+    suite = "GenomicsBench"
+    dataset_bytes = 33 * GIB
+    gap_cycles = 2
+
+    #: Hash table dominates; the remainder is the streamed input.
+    TABLE_FRACTION = 0.85
+
+    def __init__(self, scale: float = 1.0, seed: int = 42):
+        super().__init__(scale=scale, seed=seed)
+        total = int(self.dataset_bytes * scale)
+        table_bytes = max(BUCKET_BYTES * 8192,
+                          int(total * self.TABLE_FRACTION))
+        input_bytes = max(4096, total - table_bytes)
+        self.num_buckets = table_bytes // BUCKET_BYTES
+        self.input_words = input_bytes // 8
+        self._regions = layout_regions([
+            ("hash_table", self.num_buckets * BUCKET_BYTES),
+            ("input_seq", self.input_words * 8),
+        ])
+        self._table, self._input = self._regions
+
+    def regions(self) -> List[Region]:
+        return list(self._regions)
+
+    def _chunk(self, rng: np.random.Generator, num_refs: int,
+               state: dict) -> Tuple[np.ndarray, np.ndarray]:
+        # Per k-mer: input read, bucket read, chain read, bucket write.
+        per_kmer = 4
+        kmers = -(-num_refs // per_kmer)
+
+        cursor = state.get("input_cursor", 0)
+        input_idx = sequential_window(cursor, kmers) % self.input_words
+        state["input_cursor"] = int((cursor + kmers) % self.input_words)
+
+        # Nearby input positions share k-mer content, so bucket traffic
+        # clusters in a drifting hot band of the table.
+        buckets = windowed_uniform(rng, self.num_buckets, kmers,
+                                   state, "band", cluster_items=2048)
+        bucket_addr = self._table.base + buckets * BUCKET_BYTES
+        # A fraction of updates follow a chain pointer to a second,
+        # also-random bucket; the rest re-touch the same bucket.
+        chains = windowed_uniform(rng, self.num_buckets, kmers,
+                                  state, "band", cluster_items=2048)
+        chain_mask = rng.random(kmers) < CHAIN_PROBABILITY
+        chain_addr = np.where(
+            chain_mask, self._table.base + chains * BUCKET_BYTES,
+            bucket_addr)
+
+        addresses, writes = interleave([
+            (self._input.base + input_idx * 8, False),
+            (bucket_addr, False),
+            (chain_addr, False),
+            (bucket_addr, True),
+        ])
+        return addresses[:num_refs], writes[:num_refs]

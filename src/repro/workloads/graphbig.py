@@ -1,0 +1,170 @@
+"""GraphBIG kernels (Table II): BC, BFS, CC, GC, PR, TC, SP.
+
+The generators reproduce the address behaviour of CSR graph analytics
+on a power-law graph:
+
+* a sequential/irregular read of the **offset array** per vertex visit;
+* a burst of sequential reads in the **edge array** at that vertex's
+  adjacency list;
+* irregular, Zipf-skewed reads of **property arrays** at the neighbour
+  ids (hub vertices are hot) — the pointer-chasing that defeats TLBs;
+* kernel-specific writes (rank/label/color updates, frontier pushes).
+
+Kernels differ in how vertices are selected (full sweeps for the
+iterative kernels vs frontier-driven random order), how many neighbours
+each visit samples, and what they write — enough to spread TLB miss
+rates and translation overheads across the range Fig. 5 shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.workloads.base import Region, Workload, layout_regions
+from repro.workloads.synthetic import (
+    interleave,
+    windowed_mixed,
+    windowed_uniform,
+)
+
+GIB = 1024 ** 3
+
+#: CSR layout constants (bytes).
+OFFSET_BYTES = 8
+EDGE_BYTES = 8
+#: GraphBIG vertex properties are multi-field structs (rank + delta +
+#: flags, parent + depth + state, ...), not bare scalars.
+PROP_BYTES = 48
+AVG_DEGREE = 16
+BYTES_PER_VERTEX = (OFFSET_BYTES + AVG_DEGREE * EDGE_BYTES
+                    + 3 * PROP_BYTES)  # offsets + edges + 3 properties
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """How one GraphBIG kernel traverses the CSR structure."""
+
+    sweep: bool            # sequential vertex sweep vs frontier-random
+    edge_samples: int      # adjacency reads per visit
+    neighbor_reads: int    # property reads at neighbour ids per visit
+    writes_per_visit: int  # property/frontier writes per visit
+    aux_reads: int         # frontier/stack reads per visit
+    gap_cycles: int        # non-memory work between references
+
+
+KERNELS = {
+    "bc": KernelProfile(sweep=False, edge_samples=4, neighbor_reads=4,
+                        writes_per_visit=2, aux_reads=1, gap_cycles=2),
+    "bfs": KernelProfile(sweep=False, edge_samples=4, neighbor_reads=4,
+                         writes_per_visit=1, aux_reads=1, gap_cycles=1),
+    "cc": KernelProfile(sweep=True, edge_samples=4, neighbor_reads=4,
+                        writes_per_visit=1, aux_reads=0, gap_cycles=1),
+    "gc": KernelProfile(sweep=True, edge_samples=3, neighbor_reads=3,
+                        writes_per_visit=1, aux_reads=0, gap_cycles=2),
+    "pr": KernelProfile(sweep=True, edge_samples=4, neighbor_reads=4,
+                        writes_per_visit=1, aux_reads=0, gap_cycles=2),
+    "tc": KernelProfile(sweep=False, edge_samples=8, neighbor_reads=6,
+                        writes_per_visit=0, aux_reads=0, gap_cycles=3),
+    "sp": KernelProfile(sweep=False, edge_samples=4, neighbor_reads=4,
+                        writes_per_visit=2, aux_reads=1, gap_cycles=2),
+}
+
+_KERNEL_LABELS = {
+    "bc": "Betweenness Centrality",
+    "bfs": "Breadth-first search",
+    "cc": "Connected components",
+    "gc": "Coloring",
+    "pr": "PageRank",
+    "tc": "Triangle counting",
+    "sp": "Shortest-path",
+}
+
+
+class GraphBigWorkload(Workload):
+    """One GraphBIG kernel over a synthetic power-law CSR graph."""
+
+    suite = "GraphBIG"
+    dataset_bytes = 8 * GIB
+
+    def __init__(self, kernel: str, scale: float = 1.0, seed: int = 42):
+        if kernel not in KERNELS:
+            raise ValueError(
+                f"unknown GraphBIG kernel {kernel!r}; "
+                f"choose from {sorted(KERNELS)}")
+        super().__init__(scale=scale, seed=seed)
+        self.name = kernel
+        self.label = _KERNEL_LABELS[kernel]
+        self.profile = KERNELS[kernel]
+        self.gap_cycles = self.profile.gap_cycles
+        self.num_vertices = max(
+            4096, int(self.dataset_bytes * scale) // BYTES_PER_VERTEX)
+        self._regions = layout_regions([
+            ("offsets", self.num_vertices * OFFSET_BYTES),
+            ("edges", self.num_vertices * AVG_DEGREE * EDGE_BYTES),
+            ("prop_src", self.num_vertices * PROP_BYTES),
+            ("prop_dst", self.num_vertices * PROP_BYTES),
+            ("aux", self.num_vertices * PROP_BYTES),
+        ])
+        by_name = {r.name: r for r in self._regions}
+        self._offsets = by_name["offsets"]
+        self._edges = by_name["edges"]
+        self._prop_src = by_name["prop_src"]
+        self._prop_dst = by_name["prop_dst"]
+        self._aux = by_name["aux"]
+
+    def regions(self) -> List[Region]:
+        return list(self._regions)
+
+    # -- stream generation ---------------------------------------------------
+
+    def _refs_per_visit(self) -> int:
+        p = self.profile
+        return (1 + p.edge_samples + p.neighbor_reads
+                + p.writes_per_visit + p.aux_reads)
+
+    def _select_vertices(self, rng: np.random.Generator, count: int,
+                         state: dict) -> np.ndarray:
+        if not self.profile.sweep:
+            # Frontier-driven kernels visit a drifting neighbourhood of
+            # the graph, not uniformly random vertices.
+            return windowed_uniform(rng, self.num_vertices, count,
+                                    state, "frontier",
+                                    cluster_items=680)
+        cursor = state.get("sweep_cursor", 0)
+        vertices = (cursor + np.arange(count, dtype=np.int64)) \
+            % self.num_vertices
+        state["sweep_cursor"] = int((cursor + count) % self.num_vertices)
+        return vertices
+
+    def _chunk(self, rng: np.random.Generator, num_refs: int,
+               state: dict) -> Tuple[np.ndarray, np.ndarray]:
+        p = self.profile
+        per_visit = self._refs_per_visit()
+        visits = -(-num_refs // per_visit)
+        v = self._select_vertices(rng, visits, state)
+
+        parts: List[Tuple[np.ndarray, bool]] = []
+        parts.append((self._offsets.base + v * OFFSET_BYTES, False))
+        edge_base = self._edges.base + v * (AVG_DEGREE * EDGE_BYTES)
+        for j in range(p.edge_samples):
+            parts.append((edge_base + j * EDGE_BYTES, False))
+        for j in range(p.neighbor_reads):
+            neighbors = windowed_mixed(
+                rng, self.num_vertices, visits, state, "neighbors",
+                hot_fraction=0.2, cluster_items=680)
+            parts.append(
+                (self._prop_src.base + neighbors * PROP_BYTES, False))
+        for j in range(p.aux_reads):
+            frontier = windowed_uniform(rng, self.num_vertices, visits,
+                                        state, "frontier",
+                                        cluster_items=680)
+            parts.append((self._aux.base + frontier * PROP_BYTES, False))
+        for w in range(p.writes_per_visit):
+            target = self._prop_dst if w == 0 else self._aux
+            parts.append((target.base + v * PROP_BYTES, True))
+
+        addresses, writes = interleave(parts)
+        return addresses[:num_refs], writes[:num_refs]

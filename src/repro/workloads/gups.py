@@ -1,0 +1,55 @@
+"""GUPS / HPCC RandomAccess (RND in Table II, 10 GB).
+
+The canonical translation-hostile workload: read-modify-write of 8-byte
+words at uniformly random locations in one huge table.  Virtually every
+reference touches a new page, so the TLB miss rate approaches 100 % and
+the walk path *is* the workload.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.workloads.base import Region, Workload, layout_regions
+from repro.workloads.synthetic import interleave, windowed_uniform
+
+GIB = 1024 ** 3
+WORD_BYTES = 8
+
+
+class GupsWorkload(Workload):
+    """Uniform random 8 B read-modify-writes over one table."""
+
+    name = "rnd"
+    suite = "GUPS"
+    dataset_bytes = 10 * GIB
+    gap_cycles = 1  # a couple of XORs between updates
+
+    def __init__(self, scale: float = 1.0, seed: int = 42):
+        super().__init__(scale=scale, seed=seed)
+        table_bytes = max(WORD_BYTES * 4096,
+                          int(self.dataset_bytes * scale))
+        self.table_words = table_bytes // WORD_BYTES
+        self._regions = layout_regions([
+            ("table", self.table_words * WORD_BYTES),
+        ])
+        self._table = self._regions[0]
+
+    def regions(self) -> List[Region]:
+        return list(self._regions)
+
+    def _chunk(self, rng: np.random.Generator, num_refs: int,
+               state: dict) -> Tuple[np.ndarray, np.ndarray]:
+        # Each update is a read then a write of the same word.  GUPS
+        # batches updates: the generator produces a window of random
+        # indices, applies them, then moves on — a drifting hot region.
+        updates = -(-num_refs // 2)
+        # Clusters of 4096 words = 32 KB = 8 pages = one PTE line.
+        words = windowed_uniform(rng, self.table_words, updates,
+                                 state, "window", cluster_items=4096)
+        addresses = self._table.base + words * WORD_BYTES
+        combined, writes = interleave([(addresses, False),
+                                       (addresses, True)])
+        return combined[:num_refs], writes[:num_refs]

@@ -1,0 +1,98 @@
+"""XSBench particle-transport lookups (XS in Table II, 9 GB).
+
+XSBench's hot loop performs macroscopic cross-section lookups: a binary
+search over the unionized energy grid followed by reads of per-nuclide
+cross-section rows.  The binary search is the translation killer —
+~log2(n) touches with geometrically shrinking stride visit a different
+page almost every probe.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.workloads.base import Region, Workload, layout_regions
+from repro.workloads.synthetic import binary_search_probes
+
+GIB = 1024 ** 3
+
+GRID_ENTRY_BYTES = 8          # unionized energy grid points
+XS_ROW_BYTES = 16 * 8         # cross-section data read per lookup
+XS_READS_PER_ROW = 16         # sequential 8 B reads inside the row
+
+
+class XSBenchWorkload(Workload):
+    """Monte Carlo cross-section lookup kernel."""
+
+    name = "xs"
+    suite = "XSBench"
+    dataset_bytes = 9 * GIB
+    gap_cycles = 3  # FLOP-heavy interpolation between lookups
+
+    #: Fraction of the dataset taken by the unionized energy grid; the
+    #: remainder holds per-nuclide cross-section rows.
+    GRID_FRACTION = 0.25
+
+    def __init__(self, scale: float = 1.0, seed: int = 42):
+        super().__init__(scale=scale, seed=seed)
+        total = int(self.dataset_bytes * scale)
+        grid_bytes = max(GRID_ENTRY_BYTES * 1024,
+                         int(total * self.GRID_FRACTION))
+        xs_bytes = max(XS_ROW_BYTES * 64, total - grid_bytes)
+        # Non-round sizes: real unionized grids have arbitrary lengths.
+        # A round (power-of-two-ish) size would align every binary-search
+        # midpoint to the same page offset — a synthetic-only pathology.
+        self.grid_points = grid_bytes // GRID_ENTRY_BYTES - 104_729
+        self.xs_rows = xs_bytes // XS_ROW_BYTES - 10_007
+        if self.grid_points < 1024 or self.xs_rows < 64:
+            self.grid_points = max(1024, grid_bytes // GRID_ENTRY_BYTES)
+            self.xs_rows = max(64, xs_bytes // XS_ROW_BYTES)
+        self._regions = layout_regions([
+            ("egrid", self.grid_points * GRID_ENTRY_BYTES),
+            ("xs_data", self.xs_rows * XS_ROW_BYTES),
+        ])
+        self._egrid, self._xs = self._regions
+
+    def regions(self) -> List[Region]:
+        return list(self._regions)
+
+    def _lookup_refs(self, rng: np.random.Generator,
+                     state: dict) -> Tuple[List[int], List[bool]]:
+        """Addresses of one cross-section lookup.
+
+        Particle energies cluster: successive lookups probe a drifting
+        band of the grid, and the cross-section rows they read follow.
+        """
+        band = max(1024, self.grid_points // 100)
+        cursor = state.get("energy_band", 0)
+        target = (cursor + int(rng.integers(0, band))) % self.grid_points
+        state["energy_band"] = (cursor + max(1, band // 64)) \
+            % self.grid_points
+        addresses = [
+            self._egrid.base + probe * GRID_ENTRY_BYTES
+            for probe in binary_search_probes(target, self.grid_points)
+        ]
+        row_band = max(64, self.xs_rows // 100)
+        row_cursor = state.get("row_band", 0)
+        row = (row_cursor + int(rng.integers(0, row_band))) % self.xs_rows
+        state["row_band"] = (row_cursor + max(1, row_band // 64)) \
+            % self.xs_rows
+        row_base = self._xs.base + row * XS_ROW_BYTES
+        addresses.extend(
+            row_base + i * 8 for i in range(XS_READS_PER_ROW))
+        return addresses, [False] * len(addresses)
+
+    def _chunk(self, rng: np.random.Generator, num_refs: int,
+               state: dict) -> Tuple[np.ndarray, np.ndarray]:
+        addresses: List[int] = state.pop("leftover_addrs", [])
+        writes: List[bool] = state.pop("leftover_writes", [])
+        while len(addresses) < num_refs:
+            lookup_addrs, lookup_writes = self._lookup_refs(rng, state)
+            addresses.extend(lookup_addrs)
+            writes.extend(lookup_writes)
+        state["leftover_addrs"] = addresses[num_refs:]
+        state["leftover_writes"] = writes[num_refs:]
+        return (np.array(addresses[:num_refs], dtype=np.int64),
+                np.array(writes[:num_refs], dtype=bool))

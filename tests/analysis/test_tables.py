@@ -1,0 +1,47 @@
+"""Tests for ASCII table rendering."""
+
+import pytest
+
+from repro.analysis.tables import format_mapping_table, format_table
+
+
+class TestFormatTable:
+    def test_contains_headers_and_cells(self):
+        text = format_table(["name", "value"], [["x", 1.5]])
+        assert "name" in text
+        assert "x" in text
+        assert "1.500" in text
+
+    def test_title_underlined(self):
+        text = format_table(["a"], [[1]], title="Fig. 12")
+        lines = text.splitlines()
+        assert lines[0] == "Fig. 12"
+        assert lines[1] == "=" * len("Fig. 12")
+
+    def test_alignment(self):
+        text = format_table(["col"], [["short"], ["a-much-longer-cell"]])
+        lines = text.splitlines()
+        assert len(lines[-1]) == len("a-much-longer-cell")
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_floats_formatted(self):
+        text = format_table(["v"], [[0.123456]])
+        assert "0.123" in text
+
+
+class TestMappingTable:
+    def test_nested_mapping(self):
+        table = {"bfs": {"radix": 1.0, "ndpage": 1.4}}
+        text = format_mapping_table(table, ["radix", "ndpage"],
+                                    row_label="workload")
+        assert "bfs" in text
+        assert "1.400" in text
+
+    def test_missing_cell_is_nan(self):
+        table = {"bfs": {"radix": 1.0}}
+        text = format_mapping_table(table, ["radix", "ndpage"],
+                                    row_label="workload")
+        assert "nan" in text

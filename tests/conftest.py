@@ -1,0 +1,26 @@
+"""Shared fixtures for the NDPage reproduction test suite."""
+
+import pytest
+
+from repro.vm.frames import FrameAllocator
+
+MIB = 1024 ** 2
+GIB = 1024 ** 3
+
+
+@pytest.fixture
+def allocator():
+    """A modest 64 MB physical memory for page-table unit tests."""
+    return FrameAllocator(64 * MIB)
+
+
+@pytest.fixture
+def big_allocator():
+    """A 1 GB physical memory for tests that map many pages."""
+    return FrameAllocator(GIB)
+
+
+@pytest.fixture
+def fragmented_allocator():
+    """Physical memory with 50% of blocks broken at boot."""
+    return FrameAllocator(64 * MIB, fragmentation=0.5)

@@ -1,0 +1,26 @@
+"""Tests for metadata bypass policies (Section V-A)."""
+
+from repro.core.bypass import MetadataBypass, NoBypass
+
+
+class TestNoBypass:
+    def test_never_bypasses(self):
+        policy = NoBypass()
+        assert not policy.should_bypass("PL1")
+        assert not policy.should_bypass("PL2/1")
+
+
+class TestMetadataBypass:
+    def test_bypasses_everything_by_default(self):
+        policy = MetadataBypass()
+        for level in ("PL4", "PL3", "PL2", "PL1", "PL2/1", "ECH-way0"):
+            assert policy.should_bypass(level)
+
+    def test_whitelist_restricts(self):
+        policy = MetadataBypass(levels=("PL2/1",))
+        assert policy.should_bypass("PL2/1")
+        assert not policy.should_bypass("PL4")
+
+    def test_empty_whitelist_bypasses_nothing(self):
+        policy = MetadataBypass(levels=())
+        assert not policy.should_bypass("PL1")

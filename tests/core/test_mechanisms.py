@@ -1,0 +1,78 @@
+"""Tests for the mechanism registry (Section VI)."""
+
+import pytest
+
+from repro.core.bypass import MetadataBypass, NoBypass
+from repro.core.flattened import FlattenedPageTable
+from repro.core.mechanisms import (
+    MECHANISMS,
+    PAPER_MECHANISMS,
+    get_mechanism,
+)
+from repro.vm.cuckoo import ElasticCuckooPageTable
+from repro.vm.frames import FrameAllocator
+from repro.vm.ideal import IdealPageTable
+from repro.vm.os_model import PagingPolicy
+from repro.vm.radix import RadixPageTable
+
+MIB = 1024 ** 2
+
+
+class TestRegistry:
+    def test_paper_mechanisms_present(self):
+        assert set(PAPER_MECHANISMS) <= set(MECHANISMS)
+
+    def test_paper_order(self):
+        assert PAPER_MECHANISMS == ("radix", "ech", "hugepage",
+                                    "ndpage", "ideal")
+
+    def test_unknown_mechanism_rejected(self):
+        with pytest.raises(ValueError):
+            get_mechanism("tlb-of-theseus")
+
+    @pytest.mark.parametrize("key,table_cls", [
+        ("radix", RadixPageTable),
+        ("ech", ElasticCuckooPageTable),
+        ("hugepage", RadixPageTable),
+        ("ndpage", FlattenedPageTable),
+        ("ideal", IdealPageTable),
+    ])
+    def test_table_types(self, key, table_cls):
+        spec = get_mechanism(key)
+        table = spec.build_table(FrameAllocator(256 * MIB))
+        assert isinstance(table, table_cls)
+
+    def test_only_ndpage_bypasses(self):
+        assert isinstance(get_mechanism("ndpage").build_bypass(),
+                          MetadataBypass)
+        for key in ("radix", "ech", "hugepage", "ideal"):
+            assert isinstance(get_mechanism(key).build_bypass(),
+                              NoBypass)
+
+    def test_only_hugepage_uses_thp(self):
+        assert get_mechanism("hugepage").paging_policy \
+            is PagingPolicy.HUGE
+        for key in ("radix", "ech", "ndpage", "ideal"):
+            assert get_mechanism(key).paging_policy is PagingPolicy.SMALL
+
+    def test_only_ideal_is_ideal(self):
+        assert get_mechanism("ideal").ideal
+        assert not any(get_mechanism(k).ideal
+                       for k in ("radix", "ech", "hugepage", "ndpage"))
+
+    def test_pwc_levels(self):
+        assert get_mechanism("radix").pwc_levels \
+            == ("PL4", "PL3", "PL2", "PL1")
+        assert get_mechanism("ndpage").pwc_levels \
+            == ("PL4", "PL3", "PL2/1")
+        assert get_mechanism("ech").pwc_levels == ()
+
+    def test_ablation_variants(self):
+        bypass_only = get_mechanism("ndpage-bypass-only")
+        assert isinstance(
+            bypass_only.build_table(FrameAllocator(64 * MIB)),
+            RadixPageTable)
+        assert isinstance(bypass_only.build_bypass(), MetadataBypass)
+        flatten_only = get_mechanism("ndpage-flatten-only")
+        assert isinstance(flatten_only.build_bypass(), NoBypass)
+        assert get_mechanism("ndpage-nopwc").pwc_levels == ()

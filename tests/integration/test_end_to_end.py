@@ -1,0 +1,99 @@
+"""End-to-end integration tests across the full simulator stack."""
+
+import pytest
+
+from repro import ndp_config, cpu_config, run_once, run_mechanisms
+
+FAST = dict(workload="rnd", refs_per_core=600, scale=1 / 32)
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_results(self):
+        a = run_once(ndp_config(**FAST))
+        b = run_once(ndp_config(**FAST))
+        assert a.cycles == b.cycles
+        assert a.ptw_latency_mean == b.ptw_latency_mean
+        assert a.dram_accesses_by_kind == b.dram_accesses_by_kind
+
+    def test_seed_changes_results(self):
+        a = run_once(ndp_config(seed=1, **FAST))
+        b = run_once(ndp_config(seed=2, **FAST))
+        assert a.cycles != b.cycles
+
+
+class TestCrossMechanismInvariants:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_mechanisms(
+            ndp_config(**FAST),
+            ["radix", "ech", "hugepage", "ndpage", "ideal"])
+
+    def test_all_execute_same_references(self, results):
+        refs = {r.references for r in results.values()}
+        assert len(refs) == 1
+
+    def test_ideal_is_fastest(self, results):
+        fastest = min(results.values(), key=lambda r: r.cycles)
+        assert fastest is results["ideal"]
+
+    def test_ideal_has_no_metadata_traffic(self, results):
+        assert results["ideal"].pte_memory_accesses == 0
+        assert results["ideal"].dram_accesses_by_kind["metadata"] == 0
+
+    def test_ndpage_beats_radix(self, results):
+        assert results["ndpage"].cycles < results["radix"].cycles
+
+    def test_ndpage_never_caches_metadata(self, results):
+        assert results["ndpage"].l1_metadata_miss_rate == 0.0
+        assert results["ndpage"].data_evicted_by_metadata == 0
+
+    def test_radix_pollutes_cache(self, results):
+        assert results["radix"].data_evicted_by_metadata > 0
+
+    def test_ndpage_walks_are_shorter(self, results):
+        """Flattening: fewer PTE accesses per walk than radix."""
+        radix_per_walk = (results["radix"].pte_memory_accesses
+                          / results["radix"].walks)
+        ndpage_per_walk = (results["ndpage"].pte_memory_accesses
+                           / results["ndpage"].walks)
+        assert ndpage_per_walk < radix_per_walk
+
+    def test_translation_fraction_sane(self, results):
+        for key in ("radix", "ech", "hugepage", "ndpage"):
+            assert 0 < results[key].translation_fraction < 1
+        assert results["ideal"].translation_fraction == 0.0
+
+
+class TestPlatformContrast:
+    """Fig. 4: deep CPU caches absorb PTE traffic; the NDP system pays
+    DRAM latency and queueing.  Needs 4 cores and full-scale footprints
+    for the contention/reuse regime to show."""
+
+    @pytest.fixture(scope="class")
+    def platforms(self):
+        kwargs = dict(workload="bfs", num_cores=4, refs_per_core=5000)
+        return (run_once(ndp_config(**kwargs)),
+                run_once(cpu_config(**kwargs)))
+
+    def test_cpu_walks_faster_than_ndp(self, platforms):
+        ndp, cpu = platforms
+        assert ndp.ptw_latency_mean > 1.2 * cpu.ptw_latency_mean
+
+    def test_cpu_sends_fewer_ptes_to_dram(self, platforms):
+        ndp, cpu = platforms
+        assert ndp.dram_accesses_by_kind["metadata"] \
+            > 1.3 * cpu.dram_accesses_by_kind["metadata"]
+
+
+class TestCoreScaling:
+    def test_ndp_ptw_latency_grows_with_cores(self):
+        one = run_once(ndp_config(num_cores=1, **FAST))
+        four = run_once(ndp_config(num_cores=4, **FAST))
+        assert four.ptw_latency_mean > one.ptw_latency_mean
+
+    def test_workload_variety(self):
+        for workload in ("bfs", "xs", "gen"):
+            result = run_once(ndp_config(
+                workload=workload, refs_per_core=400, scale=1 / 32))
+            assert result.references == 400
+            assert result.walks > 0

@@ -1,0 +1,133 @@
+"""Scaled-down checks of the paper's qualitative claims.
+
+These use small reference counts so they run in CI time; the full-size
+reproduction lives in benchmarks/.  Each test names the paper claim it
+guards.
+"""
+
+import pytest
+
+from repro import ndp_config, run_mechanisms, run_once
+from repro.vm.occupancy import occupancy_report
+from repro.workloads.registry import make_workload
+
+REFS = 1500
+
+
+@pytest.fixture(scope="module")
+def gups_results():
+    return run_mechanisms(
+        ndp_config(workload="rnd", refs_per_core=REFS),
+        ["radix", "ech", "hugepage", "ndpage", "ideal"])
+
+
+class TestObservation1Irregularity:
+    """Section IV-A: PTE accesses are irregular and pollute the L1."""
+
+    def test_metadata_misses_more_than_data(self, gups_results):
+        radix = gups_results["radix"]
+        assert radix.l1_metadata_miss_rate > radix.l1_data_miss_rate
+
+    def test_metadata_is_large_share_of_accesses(self, gups_results):
+        # Paper: 65.8% of memory accesses are PTEs.
+        assert gups_results["radix"].metadata_mem_fraction > 0.4
+
+    def test_pollution_present(self, gups_results):
+        # Paper Fig. 7: actual normal-data miss 35.89% vs ideal 26.16%
+        # (1.37x).  Our streams have less data-side cache affinity, so
+        # the *rate* gap is small, but the mechanism — metadata fills
+        # evicting live data lines — is directly observable and the
+        # direction never inverts.  Recorded in EXPERIMENTS.md.
+        radix = gups_results["radix"]
+        ideal = gups_results["ideal"]
+        assert radix.data_evicted_by_metadata > 100
+        assert radix.l1_data_miss_rate \
+            >= ideal.l1_data_miss_rate - 0.01
+
+
+class TestObservation2Occupancy:
+    """Section IV-B / Fig. 8: PL1/PL2 nearly full, PL3/PL4 nearly empty."""
+
+    @pytest.mark.parametrize("workload", ["bfs", "rnd", "gen"])
+    def test_occupancy_shape(self, workload):
+        report = occupancy_report(
+            make_workload(workload).page_ranges())
+        assert report["PL1"] > 0.9
+        assert report["PL2"] > 0.8
+        assert report["PL3"] < 0.2
+        assert report["PL4"] < 0.05
+        assert report["PL2/1"] > 0.8
+
+
+class TestMechanism1Bypass:
+    """Section V-A: bypass removes pollution and PTE lookup cost.
+
+    Measured nuance (recorded in EXPERIMENTS.md): applied to the
+    *radix* tree alone, bypassing also forfeits the L1 hits its
+    reusable upper-level PTEs would get, so bypass-only lands within a
+    few percent of radix.  The bypass pays off in the NDPage composite,
+    where flattening removes exactly those reusable levels.
+    """
+
+    def test_bypass_only_close_to_radix_but_pollution_free(self):
+        results = run_mechanisms(
+            ndp_config(workload="rnd", refs_per_core=REFS),
+            ["radix", "ndpage-bypass-only"])
+        ratio = results["radix"].cycles \
+            / results["ndpage-bypass-only"].cycles
+        assert ratio > 0.85
+        assert results["ndpage-bypass-only"].data_evicted_by_metadata == 0
+
+    def test_bypass_free_inside_composite(self):
+        """Flat leaf PTEs have no L1 reuse, so bypassing them costs
+        nothing and removes pollution: NDPage stays within a few
+        percent of flatten-only while keeping the L1 clean."""
+        results = run_mechanisms(
+            ndp_config(workload="rnd", refs_per_core=REFS),
+            ["ndpage", "ndpage-flatten-only"])
+        assert results["ndpage"].cycles \
+            <= results["ndpage-flatten-only"].cycles * 1.1
+        assert results["ndpage"].data_evicted_by_metadata == 0
+        assert results["ndpage-flatten-only"].data_evicted_by_metadata \
+            >= 0
+
+
+class TestMechanism2Flattening:
+    """Section V-B: the flattened walk is one access shorter."""
+
+    def test_flatten_only_beats_radix(self):
+        results = run_mechanisms(
+            ndp_config(workload="rnd", refs_per_core=REFS),
+            ["radix", "ndpage-flatten-only"])
+        assert results["ndpage-flatten-only"].cycles \
+            < results["radix"].cycles
+
+    def test_composite_beats_bypass_only(self):
+        results = run_mechanisms(
+            ndp_config(workload="rnd", refs_per_core=REFS),
+            ["ndpage", "ndpage-bypass-only"])
+        assert results["ndpage"].cycles \
+            <= results["ndpage-bypass-only"].cycles
+
+
+class TestPwc:
+    """Section V-C: upper-level PWCs hit nearly always; leaf rarely."""
+
+    def test_pwc_hit_rate_profile(self):
+        result = run_once(ndp_config(workload="rnd",
+                                     refs_per_core=3000))
+        rates = result.pwc_hit_rates
+        assert rates["PL4"] > 0.95
+        assert rates["PL3"] > 0.9
+        assert rates["PL1"] < 0.4
+
+
+class TestHeadline:
+    """Fig. 12 ordering on the most translation-bound workload."""
+
+    def test_mechanism_ordering(self, gups_results):
+        cycles = {k: r.cycles for k, r in gups_results.items()}
+        assert cycles["ideal"] < cycles["ndpage"]
+        assert cycles["ndpage"] < cycles["ech"]
+        assert cycles["ndpage"] < cycles["hugepage"]
+        assert cycles["ech"] < cycles["radix"]

@@ -1,0 +1,79 @@
+"""Tests for page-walk caches."""
+
+import pytest
+
+from repro.mmu.pwc import PageWalkCache, PwcSet
+
+
+class TestPageWalkCache:
+    def test_cold_miss(self):
+        pwc = PageWalkCache("PL4")
+        assert not pwc.lookup(("PL4", 0))
+        assert pwc.stats.misses == 1
+
+    def test_insert_then_hit(self):
+        pwc = PageWalkCache("PL4")
+        pwc.insert(("PL4", 0))
+        assert pwc.lookup(("PL4", 0))
+
+    def test_capacity_bounded(self):
+        pwc = PageWalkCache("PL2", entries=8, associativity=2)
+        for i in range(100):
+            pwc.insert(("PL2", i))
+        resident = sum(len(s) for s in pwc._sets)
+        assert resident <= 8
+
+    def test_lru_refresh(self):
+        pwc = PageWalkCache("PL2", entries=2, associativity=2)
+        pwc.insert(("PL2", 0))
+        pwc.insert(("PL2", 1))
+        pwc.lookup(("PL2", 0))
+        pwc.insert(("PL2", 2))
+        # Key 1 was LRU and evicted; key 0 survived.
+        assert pwc.lookup(("PL2", 0))
+
+    def test_geometry_validated(self):
+        with pytest.raises(ValueError):
+            PageWalkCache("x", entries=5, associativity=2)
+
+    def test_flush(self):
+        pwc = PageWalkCache("PL4")
+        pwc.insert(("PL4", 0))
+        pwc.flush()
+        assert not pwc.lookup(("PL4", 0))
+
+
+class TestPwcSet:
+    def test_levels_present(self):
+        pwcs = PwcSet(("PL4", "PL3", "PL2/1"))
+        assert "PL4" in pwcs
+        assert "PL1" not in pwcs
+        assert pwcs.cache_for("PL1") is None
+
+    def test_hit_rates_per_level(self):
+        pwcs = PwcSet(("PL4", "PL3"))
+        pwcs.cache_for("PL4").insert(("PL4", 0))
+        pwcs.cache_for("PL4").lookup(("PL4", 0))
+        pwcs.cache_for("PL3").lookup(("PL3", 0))
+        rates = pwcs.hit_rates()
+        assert rates["PL4"] == 1.0
+        assert rates["PL3"] == 0.0
+
+    def test_merged_hit_rate(self):
+        pwcs = PwcSet(("PL2", "PL1"))
+        pwcs.cache_for("PL2").insert(("PL2", 0))
+        pwcs.cache_for("PL2").lookup(("PL2", 0))   # hit
+        pwcs.cache_for("PL1").lookup(("PL1", 0))   # miss
+        assert pwcs.merged_hit_rate(("PL2", "PL1")) == 0.5
+
+    def test_caches_accessor_is_copy(self):
+        pwcs = PwcSet(("PL4",))
+        caches = pwcs.caches()
+        caches.clear()
+        assert "PL4" in pwcs
+
+    def test_flush_all(self):
+        pwcs = PwcSet(("PL4", "PL3"))
+        pwcs.cache_for("PL4").insert(("PL4", 1))
+        pwcs.flush()
+        assert not pwcs.cache_for("PL4").lookup(("PL4", 1))

@@ -1,0 +1,142 @@
+"""Tests for TLBs and the Table I TLB hierarchy."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mmu.tlb import Tlb, TlbHierarchy, build_table1_tlbs
+from repro.vm.address import HUGE_PAGE_SHIFT, PAGE_SHIFT
+from repro.vm.base import Translation
+
+SMALL = Translation(100, PAGE_SHIFT)
+HUGE = Translation(3, HUGE_PAGE_SHIFT)
+
+
+@pytest.fixture
+def tlb():
+    return Tlb("t", entries=16, associativity=4, latency=1)
+
+
+class TestSingleTlb:
+    def test_cold_miss(self, tlb):
+        assert tlb.lookup(5) is None
+        assert tlb.stats.misses == 1
+
+    def test_insert_then_hit(self, tlb):
+        tlb.insert(5, SMALL)
+        assert tlb.lookup(5) == SMALL
+        assert tlb.stats.hits == 1
+
+    def test_lru_within_set(self, tlb):
+        for i in range(5):  # keys i*4 share set 0 (4 sets)
+            tlb.insert(i * 4, SMALL)
+        assert tlb.lookup(0) is None
+        assert tlb.lookup(16) is not None
+
+    def test_hit_refreshes_lru(self, tlb):
+        for i in range(4):
+            tlb.insert(i * 4, SMALL)
+        tlb.lookup(0)
+        tlb.insert(16, SMALL)  # evicts key 4, not key 0
+        assert tlb.lookup(0) is not None
+        assert tlb.lookup(4) is None
+
+    def test_reinsert_updates(self, tlb):
+        tlb.insert(5, SMALL)
+        newer = Translation(200, PAGE_SHIFT)
+        tlb.insert(5, newer)
+        assert tlb.lookup(5) == newer
+
+    def test_invalidate(self, tlb):
+        tlb.insert(5, SMALL)
+        assert tlb.invalidate(5)
+        assert tlb.lookup(5) is None
+
+    def test_flush(self, tlb):
+        for i in range(8):
+            tlb.insert(i, SMALL)
+        tlb.flush()
+        assert tlb.occupancy == 0
+
+    def test_entries_divisible_by_assoc(self):
+        with pytest.raises(ValueError):
+            Tlb("bad", entries=10, associativity=4, latency=1)
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_occupancy_bounded(self, keys):
+        tlb = Tlb("prop", entries=64, associativity=4, latency=1)
+        for key in keys:
+            tlb.insert(key, SMALL)
+        assert tlb.occupancy <= 64
+
+
+class TestHierarchy:
+    @pytest.fixture
+    def tlbs(self):
+        return build_table1_tlbs()
+
+    def test_table1_sizes(self, tlbs):
+        assert tlbs.l1_small.entries == 64
+        assert tlbs.l2.entries == 1536
+        assert tlbs.l2.latency == 12
+
+    def test_wrong_granularity_rejected(self):
+        small = Tlb("s", 64, 4, 1, page_shift=PAGE_SHIFT)
+        huge = Tlb("h", 32, 4, 1, page_shift=HUGE_PAGE_SHIFT)
+        l2 = Tlb("l2", 1536, 12, 12, page_shift=PAGE_SHIFT)
+        with pytest.raises(ValueError):
+            TlbHierarchy(l1_small=huge, l1_huge=huge, l2=l2)
+        with pytest.raises(ValueError):
+            TlbHierarchy(l1_small=small, l1_huge=small, l2=l2)
+
+    def test_full_miss_costs_both_levels(self, tlbs):
+        translation, latency = tlbs.lookup(42)
+        assert translation is None
+        assert latency == 1 + 12
+        assert tlbs.full_misses == 1
+
+    def test_l1_hit_costs_one_cycle(self, tlbs):
+        tlbs.insert(42, SMALL)
+        translation, latency = tlbs.lookup(42)
+        assert translation == SMALL
+        assert latency == 1
+
+    def test_l2_hit_refills_l1(self, tlbs):
+        tlbs.insert(42, SMALL)
+        # Evict from L1 by filling its set (16 sets, 4 ways).
+        for i in range(1, 6):
+            tlbs.insert(42 + i * 16, SMALL)
+        translation, latency = tlbs.lookup(42)
+        assert translation == SMALL
+        assert latency == 13  # found in L2
+        translation, latency = tlbs.lookup(42)
+        assert latency == 1   # refilled into L1
+
+    def test_huge_translation_uses_huge_tlb(self, tlbs):
+        page = 512 * 9 + 17
+        tlbs.insert(page, HUGE)
+        found, latency = tlbs.lookup(512 * 9 + 400)  # same 2 MB region
+        assert found == HUGE
+        assert latency == 1
+
+    def test_huge_not_in_l2(self, tlbs):
+        """Documented microarchitectural choice: the L2 TLB holds 4 KB
+        translations only, so a 2 MB entry evicted from the small huge
+        TLB must be re-walked."""
+        tlbs.insert(0, HUGE)
+        for region in range(1, 40):  # blow the 32-entry huge TLB
+            tlbs.insert(region * 512, HUGE)
+        found, _ = tlbs.lookup(0)
+        assert found is None
+
+    def test_miss_rate(self, tlbs):
+        tlbs.insert(1, SMALL)
+        tlbs.lookup(1)
+        tlbs.lookup(2)
+        assert tlbs.miss_rate == 0.5
+
+    def test_flush(self, tlbs):
+        tlbs.insert(1, SMALL)
+        tlbs.flush()
+        found, _ = tlbs.lookup(1)
+        assert found is None

@@ -1,0 +1,88 @@
+"""Tests for SystemConfig (Table I defaults and validation)."""
+
+import pytest
+
+from repro.sim.config import (
+    DEFAULT_SCALE,
+    SystemConfig,
+    cpu_config,
+    ndp_config,
+)
+
+
+class TestDefaults:
+    def test_table1_cache_defaults(self):
+        cfg = SystemConfig()
+        assert cfg.l1.size == 32 * 1024
+        assert cfg.l1.associativity == 8
+        assert cfg.l1.latency == 4
+        assert cfg.l2.size == 512 * 1024
+        assert cfg.l3_per_core.size == 2 * 1024 * 1024
+        assert cfg.l3_per_core.latency == 35
+
+    def test_table1_tlb_defaults(self):
+        cfg = SystemConfig()
+        assert cfg.tlb.l1_small_entries == 64
+        assert cfg.tlb.l2_entries == 1536
+        assert cfg.tlb.l2_latency == 12
+
+    def test_table1_memory(self):
+        cfg = SystemConfig(scale=1.0)
+        assert cfg.physical_bytes == 16 * 1024 ** 3
+
+    def test_default_scale_is_full(self):
+        assert DEFAULT_SCALE == 1.0
+
+    def test_phys_scales_with_workloads(self):
+        cfg = SystemConfig(scale=0.5)
+        assert cfg.physical_bytes == 8 * 1024 ** 3
+
+    def test_explicit_phys_wins(self):
+        cfg = SystemConfig(phys_bytes=123 * 1024 ** 2)
+        assert cfg.physical_bytes == 123 * 1024 ** 2
+
+
+class TestValidation:
+    def test_bad_system(self):
+        with pytest.raises(ValueError):
+            SystemConfig(system="gpu")
+
+    def test_bad_cores(self):
+        with pytest.raises(ValueError):
+            SystemConfig(num_cores=0)
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            SystemConfig(scale=0)
+        with pytest.raises(ValueError):
+            SystemConfig(scale=1.5)
+
+    def test_bad_refs(self):
+        with pytest.raises(ValueError):
+            SystemConfig(refs_per_core=0)
+
+    def test_bad_mechanism_caught_early(self):
+        with pytest.raises(ValueError):
+            SystemConfig(mechanism="quantum")
+
+
+class TestBuilders:
+    def test_factories_set_system(self):
+        assert ndp_config().system == "ndp"
+        assert cpu_config().system == "cpu"
+
+    def test_with_mechanism(self):
+        cfg = ndp_config().with_mechanism("ndpage")
+        assert cfg.mechanism == "ndpage"
+        assert cfg.system == "ndp"
+
+    def test_with_cores(self):
+        assert ndp_config().with_cores(8).num_cores == 8
+
+    def test_with_workload(self):
+        assert ndp_config().with_workload("xs").workload == "xs"
+
+    def test_configs_are_frozen(self):
+        cfg = ndp_config()
+        with pytest.raises(Exception):
+            cfg.num_cores = 4

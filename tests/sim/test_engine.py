@@ -1,0 +1,48 @@
+"""Tests for the multi-core event engine."""
+
+import pytest
+
+from repro.sim.config import ndp_config
+from repro.sim.engine import SimulationEngine
+from repro.sim.system import System
+
+
+class TestEngine:
+    def test_needs_cores(self):
+        with pytest.raises(ValueError):
+            SimulationEngine([])
+
+    def test_all_cores_run_to_completion(self):
+        system = System(ndp_config(workload="rnd", num_cores=2,
+                                   refs_per_core=300, scale=1 / 64))
+        system.run()
+        for core in system.cores:
+            assert core.stats.references == 300
+            assert core.finished
+
+    def test_global_cycles_is_slowest_core(self):
+        system = System(ndp_config(workload="rnd", num_cores=2,
+                                   refs_per_core=300, scale=1 / 64))
+        cycles = system.run()
+        assert cycles == max(c.stats.cycles for c in system.cores)
+
+    def test_deterministic_across_runs(self):
+        results = []
+        for _ in range(2):
+            system = System(ndp_config(workload="bfs", num_cores=2,
+                                       refs_per_core=400, scale=1 / 64,
+                                       seed=7))
+            results.append(system.run())
+        assert results[0] == results[1]
+
+    def test_cores_interleave_on_shared_dram(self):
+        """Two cores must finish later per-core than one core alone
+        (bank contention), but sooner than strictly serialized."""
+        solo = System(ndp_config(workload="rnd", num_cores=1,
+                                 refs_per_core=500, scale=1 / 64))
+        solo_cycles = solo.run()
+        duo = System(ndp_config(workload="rnd", num_cores=2,
+                                refs_per_core=500, scale=1 / 64))
+        duo_cycles = duo.run()
+        assert duo_cycles > solo_cycles * 0.9
+        assert duo_cycles < solo_cycles * 2

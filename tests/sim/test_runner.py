@@ -1,0 +1,70 @@
+"""Tests for the experiment runner and RunResult metrics."""
+
+import pytest
+
+from repro.sim.config import ndp_config
+from repro.sim.runner import run_mechanisms, run_once
+
+FAST = dict(workload="rnd", refs_per_core=400, scale=1 / 64)
+
+
+@pytest.fixture(scope="module")
+def radix_result():
+    return run_once(ndp_config(mechanism="radix", **FAST))
+
+
+class TestRunOnce:
+    def test_reference_counts(self, radix_result):
+        assert radix_result.references == 400
+        assert radix_result.instructions > 400
+
+    def test_rates_are_probabilities(self, radix_result):
+        for value in (radix_result.tlb_miss_rate,
+                      radix_result.l1_data_miss_rate,
+                      radix_result.l1_metadata_miss_rate,
+                      radix_result.translation_fraction,
+                      radix_result.metadata_mem_fraction,
+                      radix_result.dram_row_hit_rate):
+            assert 0.0 <= value <= 1.0
+
+    def test_ptw_latency_positive(self, radix_result):
+        assert radix_result.walks > 0
+        assert radix_result.ptw_latency_mean > 0
+        assert radix_result.ptw_latency_max \
+            >= radix_result.ptw_latency_mean
+
+    def test_pwc_hit_rates_for_radix_levels(self, radix_result):
+        assert set(radix_result.pwc_hit_rates) \
+            == {"PL4", "PL3", "PL2", "PL1"}
+
+    def test_occupancy_snapshot(self, radix_result):
+        assert radix_result.occupancy["PL1"] > 0
+
+    def test_dram_attribution(self, radix_result):
+        assert radix_result.dram_accesses_by_kind["metadata"] > 0
+        assert radix_result.dram_accesses_by_kind["data"] > 0
+
+    def test_summary_keys(self, radix_result):
+        summary = radix_result.summary()
+        assert {"cycles", "ipc", "ptw_mean", "tlb_miss"} <= set(summary)
+
+    def test_speedup_identity(self, radix_result):
+        assert radix_result.speedup_over(radix_result) == 1.0
+
+
+class TestRunMechanisms:
+    def test_all_mechanisms_present(self):
+        results = run_mechanisms(
+            ndp_config(**FAST), ["radix", "ndpage"])
+        assert set(results) == {"radix", "ndpage"}
+
+    def test_baseline_added_if_missing(self):
+        results = run_mechanisms(
+            ndp_config(**FAST), ["ndpage"], baseline="radix")
+        assert "radix" in results
+
+    def test_ideal_bounds_everyone(self):
+        results = run_mechanisms(
+            ndp_config(**FAST), ["radix", "ndpage", "ideal"])
+        assert results["ideal"].cycles <= results["ndpage"].cycles
+        assert results["ndpage"].cycles <= results["radix"].cycles

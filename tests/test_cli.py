@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.workload == "rnd"
+        assert args.mechanism == "radix"
+        assert args.cores == 4
+
+    def test_bad_mechanism_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--mechanism", "magic"])
+
+    def test_figure_choices(self):
+        args = build_parser().parse_args(["figure", "fig12"])
+        assert args.figure == "fig12"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+class TestCommands:
+    def test_run_prints_summary(self, capsys):
+        assert main(["run", "--workload", "rnd", "--cores", "1",
+                     "--refs", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "ptw_mean" in out
+        assert "cycles" in out
+
+    def test_compare_prints_speedups(self, capsys):
+        assert main(["compare", "--workload", "rnd", "--cores", "1",
+                     "--refs", "500",
+                     "--mechanisms", "radix", "ndpage"]) == 0
+        out = capsys.readouterr().out
+        assert "ndpage" in out
+        assert "speedup" in out
+
+    def test_workloads_lists_table2(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "GenomicsBench" in out
+        assert "33" in out
+
+    def test_figure_fig8(self, capsys):
+        assert main(["figure", "fig8"]) == 0
+        out = capsys.readouterr().out
+        assert "PL2/1" in out

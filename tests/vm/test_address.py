@@ -1,0 +1,151 @@
+"""Unit and property tests for x86-64 address manipulation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.vm import address as addr
+
+VPNS = st.integers(min_value=0, max_value=(1 << 36) - 1)
+VADDRS = st.integers(min_value=0, max_value=(1 << 48) - 1)
+
+
+class TestConstants:
+    def test_page_size(self):
+        assert addr.PAGE_SIZE == 4096
+
+    def test_huge_page_size(self):
+        assert addr.HUGE_PAGE_SIZE == 2 * 1024 * 1024
+
+    def test_entries_per_node(self):
+        assert addr.ENTRIES_PER_NODE == 512
+
+    def test_flat_entries_match_paper(self):
+        # Section V-B: 2^9 x 2^9 = 262,144 entries per flattened node.
+        assert addr.FLAT_ENTRIES == 262_144
+
+    def test_flat_node_is_2mb(self):
+        assert addr.FLAT_NODE_BYTES == 2 * 1024 * 1024
+
+    def test_pte_size(self):
+        assert addr.PTE_SIZE == 8
+
+    def test_line_size(self):
+        assert addr.LINE_SIZE == 64
+
+    def test_pte_region_divisible_by_line(self):
+        # Section V-A: 4 KB PTE regions are 64 B-aligned, so marking
+        # them never splits a cache line with normal data.
+        assert addr.PAGE_SIZE % addr.LINE_SIZE == 0
+
+
+class TestVpn:
+    def test_zero(self):
+        assert addr.vpn(0) == 0
+
+    def test_within_first_page(self):
+        assert addr.vpn(4095) == 0
+
+    def test_second_page(self):
+        assert addr.vpn(4096) == 1
+
+    def test_page_offset(self):
+        assert addr.page_offset(0x1234) == 0x234
+
+    def test_huge_vpn(self):
+        assert addr.huge_vpn(2 * 1024 * 1024) == 1
+        assert addr.huge_vpn(2 * 1024 * 1024 - 1) == 0
+
+    def test_vpn_to_vaddr_roundtrip(self):
+        assert addr.vpn(addr.vpn_to_vaddr(12345)) == 12345
+
+    @given(VADDRS)
+    def test_vpn_offset_recompose(self, vaddr):
+        page = addr.vpn(vaddr)
+        assert addr.vpn_to_vaddr(page) + addr.page_offset(vaddr) == vaddr
+
+
+class TestLevelIndex:
+    def test_level1_is_low_bits(self):
+        assert addr.level_index(0b111_000000001, 1) == 1
+
+    def test_level_extraction_known_value(self):
+        page = addr.make_vpn(3, 7, 500, 511)
+        assert addr.level_index(page, 4) == 3
+        assert addr.level_index(page, 3) == 7
+        assert addr.level_index(page, 2) == 500
+        assert addr.level_index(page, 1) == 511
+
+    @pytest.mark.parametrize("level", [0, 5, -1])
+    def test_invalid_level_rejected(self, level):
+        with pytest.raises(ValueError):
+            addr.level_index(0, level)
+
+    @given(VPNS)
+    def test_make_vpn_roundtrip(self, page):
+        indices = [addr.level_index(page, lv) for lv in (4, 3, 2, 1)]
+        assert addr.make_vpn(*indices) == page
+
+    def test_make_vpn_range_check(self):
+        with pytest.raises(ValueError):
+            addr.make_vpn(512, 0, 0, 0)
+
+
+class TestFlatIndex:
+    def test_flat_index_is_18_bits(self):
+        assert addr.flat_index((1 << 18) - 1) == (1 << 18) - 1
+        assert addr.flat_index(1 << 18) == 0
+
+    @given(VPNS)
+    def test_flat_index_merges_pl2_pl1(self, page):
+        # Fig. 9: the flattened index is exactly PL2 || PL1.
+        expected = (addr.level_index(page, 2) << 9) \
+            | addr.level_index(page, 1)
+        assert addr.flat_index(page) == expected
+
+    @given(VPNS)
+    def test_flat_tag_plus_index_recompose(self, page):
+        recomposed = (addr.flat_tag(page) << addr.FLAT_LEVEL_BITS) \
+            | addr.flat_index(page)
+        assert recomposed == page
+
+
+class TestAlignment:
+    def test_align_down(self):
+        assert addr.align_down(4097, 4096) == 4096
+
+    def test_align_up(self):
+        assert addr.align_up(4097, 4096) == 8192
+
+    def test_align_up_exact(self):
+        assert addr.align_up(8192, 4096) == 8192
+
+    @given(st.integers(min_value=0, max_value=1 << 50),
+           st.sampled_from([64, 4096, 2 * 1024 * 1024]))
+    def test_align_invariants(self, value, alignment):
+        down = addr.align_down(value, alignment)
+        up = addr.align_up(value, alignment)
+        assert down <= value <= up
+        assert down % alignment == 0
+        assert up % alignment == 0
+        assert up - down in (0, alignment)
+
+
+class TestRanges:
+    def test_pages_in_range_single(self):
+        assert list(addr.pages_in_range(0, 1)) == [0]
+
+    def test_pages_in_range_spanning(self):
+        assert list(addr.pages_in_range(4000, 200)) == [0, 1]
+
+    def test_pages_in_range_empty(self):
+        assert list(addr.pages_in_range(0, 0)) == []
+
+    def test_line_of(self):
+        assert addr.line_of(63) == 0
+        assert addr.line_of(64) == 1
+
+    def test_is_canonical(self):
+        assert addr.is_canonical(0)
+        assert addr.is_canonical((1 << 48) - 1)
+        assert not addr.is_canonical(1 << 48)
+        assert not addr.is_canonical(-1)

@@ -1,0 +1,221 @@
+"""Tests for the physical frame allocator and its contiguity model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.vm.frames import (
+    FRAMES_PER_BLOCK,
+    FrameAllocator,
+    OutOfMemoryError,
+)
+
+MIB = 1024 ** 2
+
+
+class TestBasicAllocation:
+    def test_frames_are_distinct(self, allocator):
+        frames = [allocator.alloc_frame() for _ in range(1000)]
+        assert len(set(frames)) == 1000
+
+    def test_frames_in_range(self, allocator):
+        for _ in range(100):
+            frame = allocator.alloc_frame()
+            assert 0 <= frame < allocator.num_frames
+
+    def test_small_allocs_counted(self, allocator):
+        for _ in range(7):
+            allocator.alloc_frame()
+        assert allocator.stats.small_allocs == 7
+
+    def test_frame_paddr(self, allocator):
+        frame = allocator.alloc_frame()
+        assert allocator.frame_paddr(frame) == frame * 4096
+
+    def test_sites_use_separate_blocks(self, allocator):
+        a = allocator.alloc_frame(site=0)
+        b = allocator.alloc_frame(site=1)
+        assert a // FRAMES_PER_BLOCK != b // FRAMES_PER_BLOCK
+
+    def test_same_site_is_contiguous_within_block(self, allocator):
+        first = allocator.alloc_frame(site=3)
+        second = allocator.alloc_frame(site=3)
+        assert second == first + 1
+
+    def test_reserved_memory_not_allocated(self):
+        alloc = FrameAllocator(16 * MIB, reserved_bytes=4 * MIB)
+        frame = alloc.alloc_frame()
+        assert frame >= (4 * MIB) // 4096
+
+    def test_too_small_memory_rejected(self):
+        with pytest.raises(ValueError):
+            FrameAllocator(1024)
+
+    def test_reservation_cannot_swallow_everything(self):
+        with pytest.raises(ValueError):
+            FrameAllocator(4 * MIB, reserved_bytes=4 * MIB)
+
+
+class TestHugeAllocation:
+    def test_huge_is_block_aligned(self, allocator):
+        frame = allocator.alloc_huge()
+        assert frame is not None
+        assert frame % FRAMES_PER_BLOCK == 0
+
+    def test_huge_blocks_distinct(self, allocator):
+        a = allocator.alloc_huge()
+        b = allocator.alloc_huge()
+        assert a != b
+
+    def test_huge_exhaustion_returns_none(self):
+        alloc = FrameAllocator(8 * MIB, reserved_bytes=0)
+        blocks = []
+        while True:
+            frame = alloc.alloc_huge()
+            if frame is None:
+                break
+            blocks.append(frame)
+        assert alloc.stats.huge_failures == 1
+        assert len(blocks) == alloc.num_blocks
+
+    def test_huge_and_small_never_overlap(self, allocator):
+        small = {allocator.alloc_frame() for _ in range(600)}
+        huge_first = allocator.alloc_huge()
+        huge = set(range(huge_first, huge_first + FRAMES_PER_BLOCK))
+        assert not small & huge
+
+    def test_free_block_returns_contiguity(self, allocator):
+        while allocator.alloc_huge() is not None:
+            pass
+        assert allocator.free_block_count == 0
+        allocator.free_block(FRAMES_PER_BLOCK)  # give one back
+        assert allocator.free_block_count == 1
+        assert allocator.alloc_huge() is not None
+
+    def test_free_block_alignment_enforced(self, allocator):
+        with pytest.raises(ValueError):
+            allocator.free_block(1)
+
+
+class TestFreeAndReuse:
+    def test_freed_frame_is_reused(self, allocator):
+        frame = allocator.alloc_frame()
+        allocator.free_frame(frame)
+        assert allocator.alloc_frame() == frame
+
+    def test_free_out_of_range_rejected(self, allocator):
+        with pytest.raises(ValueError):
+            allocator.free_frame(allocator.num_frames)
+
+    def test_out_of_memory_raises(self):
+        alloc = FrameAllocator(4 * MIB, reserved_bytes=0)
+        for _ in range(alloc.num_frames):
+            alloc.alloc_frame()
+        with pytest.raises(OutOfMemoryError):
+            alloc.alloc_frame()
+
+    def test_exhaustion_steals_other_sites_partials(self):
+        alloc = FrameAllocator(4 * MIB, reserved_bytes=0)
+        alloc.alloc_frame(site=0)  # opens block 0, 511 frames left there
+        # Site 1 consumes the remaining block.
+        taken = 1
+        while alloc.free_block_count:
+            alloc.alloc_frame(site=1)
+            taken += 1
+        # Site 1 keeps allocating by stealing site 0's partial block.
+        remaining = alloc.num_frames - taken
+        for _ in range(remaining):
+            alloc.alloc_frame(site=1)
+        with pytest.raises(OutOfMemoryError):
+            alloc.alloc_frame(site=1)
+
+
+class TestAccounting:
+    def test_free_frames_decrease_monotonically(self, allocator):
+        before = allocator.free_frames
+        allocator.alloc_frame()
+        assert allocator.free_frames == before - 1
+
+    def test_huge_alloc_consumes_whole_block(self, allocator):
+        before = allocator.free_frames
+        allocator.alloc_huge()
+        assert allocator.free_frames == before - FRAMES_PER_BLOCK
+
+    @given(st.lists(st.sampled_from(["small", "huge"]), max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_frame_conservation(self, ops):
+        alloc = FrameAllocator(64 * MIB, reserved_bytes=0)
+        total = alloc.free_frames
+        used = 0
+        for op in ops:
+            if op == "small":
+                alloc.alloc_frame()
+                used += 1
+            else:
+                if alloc.alloc_huge() is not None:
+                    used += FRAMES_PER_BLOCK
+        assert alloc.free_frames == total - used
+
+
+class TestBootFragmentation:
+    def test_fragmentation_shrinks_contiguity_pool(self):
+        whole = FrameAllocator(64 * MIB, fragmentation=0.0)
+        half = FrameAllocator(64 * MIB, fragmentation=0.5)
+        assert half.free_block_count < whole.free_block_count
+
+    def test_fragmentation_rate_respected(self):
+        alloc = FrameAllocator(64 * MIB, fragmentation=0.5)
+        usable = alloc.num_blocks - 1  # minus default reservation
+        assert abs(alloc.free_block_count - usable / 2) <= 2
+
+    def test_fragmented_blocks_still_serve_small_allocs(self):
+        alloc = FrameAllocator(8 * MIB, reserved_bytes=0,
+                               fragmentation=0.9)
+        # Far more frames available than whole blocks would suggest.
+        frames = [alloc.alloc_frame() for _ in range(600)]
+        assert len(set(frames)) == 600
+
+    def test_small_allocs_prefer_fragmented_blocks(self):
+        alloc = FrameAllocator(64 * MIB, reserved_bytes=0,
+                               fragmentation=0.25)
+        blocks_before = alloc.free_block_count
+        alloc.alloc_frame()
+        # The small allocation was carved out of a fragmented block,
+        # preserving the whole-block pool (grouping by mobility).
+        assert alloc.free_block_count == blocks_before
+
+    def test_invalid_fragmentation_rejected(self):
+        with pytest.raises(ValueError):
+            FrameAllocator(64 * MIB, fragmentation=1.0)
+
+    def test_fragmented_free_room_not_compactable(self):
+        alloc = FrameAllocator(64 * MIB, reserved_bytes=0,
+                               fragmentation=0.5)
+        recovered = alloc.compact()
+        assert recovered == 0  # boot noise is unmovable
+
+
+class TestCompaction:
+    def test_compaction_recovers_blocks_from_freed_frames(self):
+        alloc = FrameAllocator(16 * MIB, reserved_bytes=0)
+        frames = [alloc.alloc_frame() for _ in range(3 * FRAMES_PER_BLOCK)]
+        while alloc.alloc_huge() is not None:
+            pass
+        for frame in frames:
+            alloc.free_frame(frame)
+        assert alloc.free_block_count == 0
+        recovered = alloc.compact()
+        assert recovered >= 1
+        assert alloc.free_block_count == recovered
+        assert alloc.alloc_huge() is not None
+
+    def test_compaction_efficiency_limits_recovery(self):
+        alloc = FrameAllocator(16 * MIB, reserved_bytes=0,
+                               compaction_efficiency=0.0)
+        frames = [alloc.alloc_frame() for _ in range(2 * FRAMES_PER_BLOCK)]
+        for frame in frames:
+            alloc.free_frame(frame)
+        assert alloc.compact() == 0
+
+    def test_compaction_counted(self, allocator):
+        allocator.compact()
+        assert allocator.stats.compactions == 1

@@ -1,0 +1,138 @@
+"""Tests for occupancy analysis — including the analytic/live equivalence
+that justifies computing Fig. 8 at full dataset scale without building
+multi-million-entry tables."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.vm.address import ENTRIES_PER_NODE, FLAT_ENTRIES
+from repro.vm.frames import FrameAllocator
+from repro.vm.occupancy import (
+    flattened_occupancy_from_ranges,
+    level_occupancy_from_ranges,
+    normalize_ranges,
+    occupancy_report,
+)
+from repro.vm.radix import RadixPageTable
+
+MIB = 1024 ** 2
+
+SMALL_RANGES = st.lists(
+    st.tuples(st.integers(0, 1 << 22), st.integers(0, 2000)).map(
+        lambda t: (t[0], t[0] + t[1])),
+    min_size=1, max_size=6,
+)
+
+
+class TestNormalize:
+    def test_merges_overlap(self):
+        assert normalize_ranges([(0, 10), (5, 20)]) == [(0, 20)]
+
+    def test_merges_adjacent(self):
+        assert normalize_ranges([(0, 10), (11, 20)]) == [(0, 20)]
+
+    def test_keeps_disjoint(self):
+        assert normalize_ranges([(0, 1), (10, 11)]) == [(0, 1), (10, 11)]
+
+    def test_sorts(self):
+        assert normalize_ranges([(10, 11), (0, 1)]) == [(0, 1), (10, 11)]
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            normalize_ranges([(5, 1)])
+
+    def test_empty(self):
+        assert normalize_ranges([]) == []
+
+
+class TestAnalyticOccupancy:
+    def test_single_full_pl1_node(self):
+        assert level_occupancy_from_ranges([(0, 511)], 1) == 1.0
+
+    def test_half_full_pl1_node(self):
+        assert level_occupancy_from_ranges([(0, 255)], 1) == 0.5
+
+    def test_dense_range_fills_pl1_nearly(self):
+        # 1 GB of dense 4 KB pages: PL1 fully used in every inner node.
+        occ = level_occupancy_from_ranges([(0, 512 * 512 - 1)], 1)
+        assert occ == 1.0
+
+    def test_sparse_pages_leave_pl1_empty(self):
+        # One page per 2 MB region: PL1 nodes 1/512 used.
+        ranges = [(i * 512, i * 512) for i in range(64)]
+        assert level_occupancy_from_ranges(ranges, 1) \
+            == pytest.approx(1 / 512)
+
+    def test_pl4_nearly_empty_for_single_dataset(self):
+        # The paper's observation: PL4/PL3 occupancy is tiny.
+        ranges = [(0, (8 << 30) // 4096 - 1)]  # dense 8 GB
+        assert level_occupancy_from_ranges(ranges, 4) < 0.01
+        assert level_occupancy_from_ranges(ranges, 3) < 0.05
+        assert level_occupancy_from_ranges(ranges, 2) > 0.95
+        assert level_occupancy_from_ranges(ranges, 1) == 1.0
+
+    def test_flattened_occupancy_dense_gig(self):
+        assert flattened_occupancy_from_ranges([(0, FLAT_ENTRIES - 1)]) \
+            == 1.0
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            level_occupancy_from_ranges([(0, 1)], 5)
+
+    def test_empty_ranges(self):
+        assert level_occupancy_from_ranges([], 1) == 0.0
+        assert flattened_occupancy_from_ranges([]) == 0.0
+
+    def test_report_contains_all_levels(self):
+        report = occupancy_report([(0, 100_000)])
+        assert set(report) == {"PL1", "PL2", "PL3", "PL4", "PL2/1"}
+
+
+class TestAnalyticMatchesLiveTable:
+    """The Fig. 8 benchmark relies on this equivalence."""
+
+    @given(SMALL_RANGES)
+    @settings(max_examples=20, deadline=None)
+    def test_equivalence_on_radix(self, ranges):
+        merged = normalize_ranges(ranges)
+        total_pages = sum(hi - lo + 1 for lo, hi in merged)
+        if total_pages > 20_000:
+            return  # keep the live table small
+        table = RadixPageTable(FrameAllocator(512 * MIB))
+        pfn = 0
+        for lo, hi in merged:
+            for page in range(lo, hi + 1):
+                table.map_page(page, pfn=pfn)
+                pfn += 1
+        live = table.occupancy()
+        for level_num, level_name in ((1, "PL1"), (2, "PL2"),
+                                      (3, "PL3"), (4, "PL4")):
+            analytic = level_occupancy_from_ranges(merged, level_num)
+            assert live[level_name] == pytest.approx(analytic), level_name
+
+    def test_equivalence_on_flattened(self):
+        from repro.core.flattened import FlattenedPageTable
+        ranges = [(0, 999), (300_000, 300_499)]
+        table = FlattenedPageTable(FrameAllocator(512 * MIB))
+        pfn = 0
+        for lo, hi in ranges:
+            for page in range(lo, hi + 1):
+                table.map_page(page, pfn=pfn)
+                pfn += 1
+        analytic = flattened_occupancy_from_ranges(ranges)
+        assert table.occupancy()["PL2/1"] == pytest.approx(analytic)
+
+
+class TestPaperShape:
+    """Fig. 8's qualitative claim on every Table II workload layout."""
+
+    @pytest.mark.parametrize("workload", ["bfs", "pr", "xs", "rnd",
+                                          "dlrm", "gen"])
+    def test_bottom_levels_full_top_levels_empty(self, workload):
+        from repro.workloads.registry import make_workload
+        ranges = make_workload(workload, scale=1.0).page_ranges()
+        report = occupancy_report(ranges)
+        assert report["PL1"] > 0.9, "paper: PL1 ~97.97%"
+        assert report["PL2"] > 0.8, "paper: PL2 ~98.24%"
+        assert report["PL4"] < 0.05, "paper: PL4 ~0.43%"
+        assert report["PL3"] < 0.2, "paper: PL3 ~3.12%"

@@ -1,0 +1,196 @@
+"""Tests for the OS memory manager: demand paging, THP, reclaim."""
+
+import pytest
+
+from repro.vm.address import HUGE_PAGE_SHIFT, PAGE_SHIFT, PAGE_SIZE
+from repro.vm.cuckoo import ElasticCuckooPageTable
+from repro.vm.frames import FRAMES_PER_BLOCK, FrameAllocator
+from repro.vm.os_model import (
+    FaultCosts,
+    OSMemoryManager,
+    PagingPolicy,
+    huge_region_of,
+    pages_per_huge_region,
+    region_base_page,
+)
+from repro.vm.radix import RadixPageTable
+
+MIB = 1024 ** 2
+
+
+def make_os(phys=64 * MIB, policy=PagingPolicy.SMALL, frag=0.0,
+            promo=1.0, **alloc_kwargs):
+    allocator = FrameAllocator(phys, fragmentation=frag, **alloc_kwargs)
+    table = RadixPageTable(allocator)
+    return OSMemoryManager(allocator, table, policy=policy,
+                           thp_promotion_fraction=promo)
+
+
+class TestDemandPaging:
+    def test_first_touch_faults(self):
+        os = make_os()
+        cycles = os.ensure_mapped(0x1000_0000)
+        assert cycles == os.costs.minor_fault_cycles
+        assert os.stats.minor_faults == 1
+
+    def test_second_touch_free(self):
+        os = make_os()
+        os.ensure_mapped(0x1000_0000)
+        assert os.ensure_mapped(0x1000_0008) == 0.0
+
+    def test_distinct_pages_fault_separately(self):
+        os = make_os()
+        os.ensure_mapped(0)
+        os.ensure_mapped(PAGE_SIZE)
+        assert os.stats.minor_faults == 2
+
+    def test_mapping_installed(self):
+        os = make_os()
+        os.ensure_mapped(0x5000)
+        assert os.page_table.lookup(5) is not None
+
+    def test_fault_cycles_accumulate(self):
+        os = make_os()
+        os.ensure_mapped(0)
+        os.ensure_mapped(PAGE_SIZE)
+        assert os.stats.fault_cycles \
+            == 2 * os.costs.minor_fault_cycles
+
+    def test_prefault_range(self):
+        os = make_os()
+        pages, cycles = os.prefault_range(0, 10 * PAGE_SIZE)
+        assert pages == 10
+        assert cycles == 10 * os.costs.minor_fault_cycles
+
+    def test_metadata_bytes_tracks_page_table(self):
+        os = make_os()
+        before = os.metadata_bytes()
+        os.ensure_mapped(1 << 40)  # new subtree
+        assert os.metadata_bytes() > before
+
+
+class TestHugePolicy:
+    def test_huge_fault_maps_whole_region(self):
+        os = make_os(policy=PagingPolicy.HUGE)
+        cycles = os.ensure_mapped(0)
+        assert cycles == os.costs.huge_fault_cycles
+        assert os.stats.huge_faults == 1
+        translation = os.page_table.lookup(100)
+        assert translation is not None
+        assert translation.page_shift == HUGE_PAGE_SHIFT
+
+    def test_neighbouring_touch_in_region_free(self):
+        os = make_os(policy=PagingPolicy.HUGE)
+        os.ensure_mapped(0)
+        assert os.ensure_mapped(100 * PAGE_SIZE) == 0.0
+
+    def test_promotion_fraction_zero_degenerates_to_small(self):
+        os = make_os(policy=PagingPolicy.HUGE, promo=0.0)
+        os.ensure_mapped(0)
+        assert os.stats.huge_faults == 0
+        assert os.stats.minor_faults == 1
+        assert os.stats.huge_fallbacks == 1
+
+    def test_promotion_fraction_partial(self):
+        os = make_os(phys=512 * MIB, policy=PagingPolicy.HUGE, promo=0.5)
+        for region in range(100):
+            os.ensure_mapped(region * (1 << HUGE_PAGE_SHIFT))
+        assert 20 <= os.stats.huge_faults <= 80
+        assert os.stats.huge_faults + os.stats.huge_fallbacks == 100
+
+    def test_promotion_decision_stable(self):
+        os1 = make_os(policy=PagingPolicy.HUGE, promo=0.5)
+        os2 = make_os(policy=PagingPolicy.HUGE, promo=0.5)
+        assert [os1._promotable(r) for r in range(64)] \
+            == [os2._promotable(r) for r in range(64)]
+
+    def test_contiguity_exhaustion_falls_back(self):
+        os = make_os(phys=8 * MIB, policy=PagingPolicy.HUGE)
+        os.allocator.reserved = None
+        touched = 0
+        while os.allocator.free_block_count:
+            os.ensure_mapped(touched * (1 << HUGE_PAGE_SHIFT))
+            touched += 1
+        cycles = os.ensure_mapped(touched * (1 << HUGE_PAGE_SHIFT))
+        assert os.stats.huge_fallbacks >= 1
+        assert os.stats.compactions >= 1
+        assert cycles >= os.costs.compaction_cycles
+
+    def test_fallback_region_stays_4kb(self):
+        os = make_os(policy=PagingPolicy.HUGE, promo=0.0)
+        os.ensure_mapped(0)
+        os.ensure_mapped(PAGE_SIZE)
+        assert os.stats.minor_faults == 2
+        assert os.stats.huge_fallbacks == 2
+
+    def test_ideal_tables_never_go_huge(self):
+        from repro.vm.ideal import IdealPageTable
+        allocator = FrameAllocator(64 * MIB)
+        os = OSMemoryManager(allocator, IdealPageTable(),
+                             policy=PagingPolicy.HUGE)
+        os.ensure_mapped(0)
+        assert os.stats.huge_faults == 0
+        assert os.stats.minor_faults == 1
+
+
+class TestReclaim:
+    def test_small_pages_reclaimed_under_pressure(self):
+        os = make_os(phys=4 * MIB)
+        pages = os.allocator.num_frames + 50
+        for i in range(pages):
+            os.ensure_mapped(i * PAGE_SIZE)
+        assert os.stats.reclaims >= 50
+        # Early pages were evicted (FIFO) to make room.
+        assert os.page_table.lookup(0) is None
+
+    def test_reclaimed_page_refaults(self):
+        os = make_os(phys=4 * MIB)
+        pages = os.allocator.num_frames + 10
+        for i in range(pages):
+            os.ensure_mapped(i * PAGE_SIZE)
+        faults_before = os.stats.minor_faults
+        os.ensure_mapped(0)  # page 0 was reclaimed
+        assert os.stats.minor_faults == faults_before + 1
+
+    def test_huge_mappings_broken_up_as_last_resort(self):
+        os = make_os(phys=8 * MIB, policy=PagingPolicy.HUGE)
+        # Fill memory entirely with huge mappings.
+        region = 0
+        while os.allocator.free_block_count:
+            os.ensure_mapped(region * (1 << HUGE_PAGE_SHIFT))
+            region += 1
+        # Burn remaining small frames, then demand more.
+        for i in range(os.allocator.free_frames + 5):
+            os.ensure_mapped((1 << 40) + i * PAGE_SIZE)
+        assert os.stats.reclaims > 0
+
+
+class TestEchRehashCharging:
+    def test_rehash_cost_charged_on_fault(self):
+        allocator = FrameAllocator(256 * MIB)
+        table = ElasticCuckooPageTable(allocator, initial_entries=64,
+                                       resize_threshold=0.5)
+        os = OSMemoryManager(allocator, table)
+        total = 0.0
+        for i in range(200):
+            total += os.ensure_mapped(i * PAGE_SIZE)
+        base = 200 * os.costs.minor_fault_cycles
+        expected_extra = (table.stats.rehashed_entries
+                          * os.costs.ech_rehash_cycles_per_entry)
+        assert total == pytest.approx(base + expected_extra)
+        assert expected_extra > 0
+
+
+class TestHelpers:
+    def test_region_roundtrip(self):
+        assert region_base_page(huge_region_of(1000)) <= 1000
+        assert huge_region_of(region_base_page(77)) == 77
+
+    def test_pages_per_region(self):
+        assert pages_per_huge_region() == 512
+
+    def test_invalid_promotion_fraction(self):
+        allocator = FrameAllocator(64 * MIB)
+        with pytest.raises(ValueError):
+            OSMemoryManager(allocator, RadixPageTable(allocator),
+                            thp_promotion_fraction=1.5)
