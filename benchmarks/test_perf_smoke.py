@@ -1,0 +1,72 @@
+"""Performance smoke test: the simulator must stay fast.
+
+Runs a scaled-down version of the ``scripts/bench.py`` suite and
+asserts a conservative refs/sec floor, so a future change that
+re-introduces per-reference allocation churn (or otherwise destroys the
+hot path) fails CI instead of silently rotting the ROADMAP's "as fast
+as the hardware allows" goal.
+
+The floor is deliberately ~10x below the throughput measured on the
+machine that produced ``BENCH_PR1.json`` (aggregate ~97k refs/s): even
+a CI runner several times slower than that box clears it comfortably,
+while a regression to the seed implementation (3.4x slower — ~28k
+refs/s on the same box, proportionally less on a slow runner) still
+trips it there.
+"""
+
+import importlib.util
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Conservative aggregate floor (refs simulated per wall-clock second).
+MIN_REFS_PER_SEC = 10_000
+
+#: Small enough to finish in seconds even on a slow runner.
+SMOKE_REFS = 30_000
+
+
+def load_bench_module():
+    spec = importlib.util.spec_from_file_location(
+        "repro_bench", REPO_ROOT / "scripts" / "bench.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("repro_bench", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_perf_smoke(emit):
+    bench = load_bench_module()
+    start = time.perf_counter()
+    report = bench.run_suite(SMOKE_REFS, scale=0.05, verbose=False)
+    wall = time.perf_counter() - start
+    aggregate = report["aggregate"]["refs_per_sec"]
+    emit(f"\nperf smoke: {aggregate:,.0f} refs/s aggregate "
+         f"({wall:.1f} s total)")
+    for row in report["results"]:
+        emit(f"  {row['name']:<12} {row['refs_per_sec']:>12,.0f} refs/s")
+    assert aggregate >= MIN_REFS_PER_SEC, (
+        f"simulator throughput regressed: {aggregate:,.0f} refs/s "
+        f"aggregate is below the {MIN_REFS_PER_SEC:,} floor — the hot "
+        f"path has likely re-grown per-reference overhead")
+
+
+def test_bench_report_shape(tmp_path):
+    """The harness writes the documented BENCH_*.json structure."""
+    bench = load_bench_module()
+    out = tmp_path / "bench.json"
+    rc = bench.main(["--refs", "2000", "--scale", str(1 / 64),
+                     "--out", str(out), "--label", "smoke"])
+    assert rc == 0
+    import json
+    report = json.loads(out.read_text())
+    assert report["label"] == "smoke"
+    assert {"results", "aggregate", "python", "refs_per_core"} \
+        <= set(report)
+    assert len(report["results"]) == len(bench.SUITE)
+    for row in report["results"]:
+        assert {"name", "workload", "mechanism", "references",
+                "wall_seconds", "refs_per_sec", "cycles"} <= set(row)
+    assert report["aggregate"]["refs_per_sec"] > 0

@@ -1,0 +1,197 @@
+#!/usr/bin/env python
+"""Simulator throughput benchmark: refs/sec on representative workloads.
+
+Runs :func:`repro.sim.runner.run_once` on a small suite of configurations
+that exercise the hot path from different angles — a walker-heavy random
+stream under the Radix baseline, a graph traversal, and the paper's
+NDPage mechanism — and reports wall-clock seconds and simulated
+references per second for each, plus two aggregates (total refs / total
+wall and the geometric mean of per-config refs/sec).
+
+Results are written as JSON (default ``BENCH_PR1.json`` at the repo
+root) so successive PRs accumulate a performance trajectory::
+
+    PYTHONPATH=src python scripts/bench.py
+    PYTHONPATH=src python scripts/bench.py --refs 200000 --out BENCH.json
+    PYTHONPATH=src python scripts/bench.py --baseline BENCH_PR1.json
+
+``--baseline`` compares the current run against a previous JSON and
+prints per-config and aggregate speedups.
+
+JSON format (``BENCH_*.json``)::
+
+    {
+      "label": "PR1",
+      "python": "3.11.x",
+      "refs_per_core": 120000,
+      "scale": 0.05,
+      "results": [
+        {"name": "...", "workload": "...", "mechanism": "...",
+         "num_cores": 1, "references": 120000,
+         "wall_seconds": 1.23, "refs_per_sec": 97561.0,
+         "cycles": 1234567.0}
+      ],
+      "aggregate": {"total_references": ..., "total_wall_seconds": ...,
+                    "refs_per_sec": ..., "geomean_refs_per_sec": ...},
+      "baseline": { ... same shape, when --baseline was given ... }
+    }
+
+``cycles`` is recorded so a throughput win can be cross-checked against
+statistics preservation (same simulated cycles, less wall time).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.sim.config import ndp_config  # noqa: E402
+from repro.sim.runner import run_once  # noqa: E402
+
+#: The benchmark suite: walker-heavy baseline, graph traversal, and the
+#: paper's mechanism.  Single-core on purpose — the per-reference path
+#: is what this harness tracks; the engine's multi-core interleaving is
+#: covered by the figure benchmarks.
+SUITE = (
+    {"name": "rnd-radix", "workload": "rnd", "mechanism": "radix"},
+    {"name": "bfs-radix", "workload": "bfs", "mechanism": "radix"},
+    {"name": "xs-ndpage", "workload": "xs", "mechanism": "ndpage"},
+)
+
+
+def bench_config(entry: dict, refs: int, scale: float, seed: int = 42):
+    """Build the SystemConfig for one suite entry."""
+    return ndp_config(
+        workload=entry["workload"],
+        mechanism=entry["mechanism"],
+        num_cores=entry.get("num_cores", 1),
+        refs_per_core=refs,
+        scale=scale,
+        seed=seed,
+    )
+
+
+def run_suite(refs: int, scale: float, seed: int = 42,
+              verbose: bool = True, repeats: int = 1) -> dict:
+    """Time ``run_once`` on every suite entry; return the report dict.
+
+    With ``repeats > 1`` each configuration is run that many times and
+    the best (minimum) wall time is reported — the standard way to
+    estimate throughput on a machine with noisy neighbours.
+    """
+    results = []
+    total_refs = 0
+    total_wall = 0.0
+    product = 1.0
+    for entry in SUITE:
+        config = bench_config(entry, refs, scale, seed)
+        wall = float("inf")
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            result = run_once(config)
+            elapsed = time.perf_counter() - start
+            if elapsed < wall:
+                wall = elapsed
+        refs_per_sec = result.references / wall if wall > 0 else 0.0
+        row = {
+            "name": entry["name"],
+            "workload": entry["workload"],
+            "mechanism": entry["mechanism"],
+            "num_cores": config.num_cores,
+            "references": result.references,
+            "wall_seconds": round(wall, 4),
+            "refs_per_sec": round(refs_per_sec, 1),
+            "cycles": result.cycles,
+        }
+        results.append(row)
+        total_refs += result.references
+        total_wall += wall
+        product *= refs_per_sec
+        if verbose:
+            print(f"  {entry['name']:<12} {result.references:>9,} refs  "
+                  f"{wall:7.2f} s  {refs_per_sec:>12,.0f} refs/s")
+    aggregate = {
+        "total_references": total_refs,
+        "total_wall_seconds": round(total_wall, 4),
+        "refs_per_sec": round(total_refs / total_wall, 1)
+        if total_wall else 0.0,
+        "geomean_refs_per_sec": round(product ** (1.0 / len(results)), 1)
+        if results else 0.0,
+    }
+    return {
+        "python": platform.python_version(),
+        "refs_per_core": refs,
+        "scale": scale,
+        "results": results,
+        "aggregate": aggregate,
+    }
+
+
+def compare(report: dict, baseline: dict) -> None:
+    """Print per-config and aggregate speedups against ``baseline``."""
+    base_rows = {row["name"]: row for row in baseline.get("results", ())}
+    print("\nSpeedup vs baseline:")
+    for row in report["results"]:
+        base = base_rows.get(row["name"])
+        if base is None or not base.get("refs_per_sec"):
+            continue
+        ratio = row["refs_per_sec"] / base["refs_per_sec"]
+        print(f"  {row['name']:<12} {ratio:5.2f}x "
+              f"({base['refs_per_sec']:,.0f} -> "
+              f"{row['refs_per_sec']:,.0f} refs/s)")
+    base_agg = baseline.get("aggregate", {}).get("refs_per_sec")
+    if base_agg:
+        agg = report["aggregate"]["refs_per_sec"] / base_agg
+        print(f"  {'aggregate':<12} {agg:5.2f}x")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Time the simulator on representative workloads.")
+    parser.add_argument("--refs", type=int, default=120_000,
+                        help="references per core (default 120000)")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="workload footprint scale (default 0.05)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="runs per config; best wall time is kept")
+    parser.add_argument("--label", default="PR1",
+                        help="label recorded in the JSON report")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR1.json"),
+                        help="output JSON path (default BENCH_PR1.json)")
+    parser.add_argument("--baseline", default=None,
+                        help="previous BENCH_*.json to compare against "
+                             "and embed in the report")
+    args = parser.parse_args(argv)
+
+    print(f"bench: {len(SUITE)} configs, {args.refs:,} refs/core, "
+          f"scale {args.scale}, best of {max(1, args.repeats)}")
+    report = run_suite(args.refs, args.scale, args.seed,
+                       repeats=args.repeats)
+    report["label"] = args.label
+    report["repeats"] = max(1, args.repeats)
+    agg = report["aggregate"]
+    print(f"  {'aggregate':<12} {agg['total_references']:>9,} refs  "
+          f"{agg['total_wall_seconds']:7.2f} s  "
+          f"{agg['refs_per_sec']:>12,.0f} refs/s")
+
+    if args.baseline:
+        baseline = json.loads(Path(args.baseline).read_text())
+        report["baseline"] = baseline
+        compare(report, baseline)
+
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -105,10 +105,15 @@ class FlattenedPageTable(PageTable):
     # -- PageTable interface -----------------------------------------------------
 
     def lookup(self, page: int) -> Optional[Translation]:
-        flat = self._flat_node_for(page, create=False)
+        # Inlined descent (this runs on every TLB miss).
+        mask = ENTRIES_PER_NODE - 1
+        child = self._root.entries.get((page >> (3 * LEVEL_BITS)) & mask)
+        if child is None:
+            return None
+        flat = child.entries.get((page >> (2 * LEVEL_BITS)) & mask)
         if flat is None:
             return None
-        return flat.entries.get(flat_index(page))
+        return flat.entries.get(page & (FLAT_ENTRIES - 1))
 
     def map_page(self, page: int, pfn: int,
                  page_shift: int = PAGE_SHIFT) -> None:
@@ -123,6 +128,7 @@ class FlattenedPageTable(PageTable):
             raise MappingError(f"page {page:#x} already mapped")
         flat.entries[index] = Translation(pfn, PAGE_SHIFT)
         self._mapped_pages += 1
+        self.structure_version += 1
 
     def unmap_page(self, page: int) -> None:
         flat = self._flat_node_for(page, create=False)
@@ -130,6 +136,7 @@ class FlattenedPageTable(PageTable):
             raise MappingError(f"page {page:#x} not mapped")
         del flat.entries[flat_index(page)]
         self._mapped_pages -= 1
+        self.structure_version += 1
 
     def walk_stages(self, page: int) -> List[List[WalkStage]]:
         node = self._root
@@ -151,6 +158,75 @@ class FlattenedPageTable(PageTable):
         stages.append([WalkStage("PL2/1", flat.pte_paddr(index),
                                  ("PL2/1", page))])
         return stages
+
+    def walk_plan(self, page: int):
+        """Specialized :meth:`PageTable.walk_plan` (no ``WalkStage``
+        construction; walkers compile a plan per walked page)."""
+        info = self.walk_info(page)
+        if info is None:
+            raise MappingError(f"walk of unmapped page {page:#x}")
+        return info[0]
+
+    def walk_info(self, page: int):
+        """Specialized :meth:`PageTable.walk_info`: plan + translation
+        from a single descent."""
+        mask = ENTRIES_PER_NODE - 1
+        node = self._root
+        idx4 = (page >> (3 * LEVEL_BITS)) & mask
+        stage4 = ("PL4", node.base_paddr + idx4 * PTE_SIZE,
+                  page >> (3 * LEVEL_BITS))
+        child = node.entries.get(idx4)
+        if child is None:
+            return None
+        idx3 = (page >> (2 * LEVEL_BITS)) & mask
+        stage3 = ("PL3", child.base_paddr + idx3 * PTE_SIZE,
+                  page >> (2 * LEVEL_BITS))
+        flat = child.entries.get(idx3)
+        if flat is None:
+            return None
+        index = page & (FLAT_ENTRIES - 1)
+        leaf = flat.entries.get(index)
+        if leaf is None:
+            return None
+        return ((stage4,), (stage3,),
+                (("PL2/1", flat.base_paddr + index * PTE_SIZE, page),)
+                ), leaf
+
+    def walk_info_decorated(self, page: int, level_info: dict, resolve):
+        """Specialized :meth:`PageTable.walk_info_decorated`: one
+        descent, flat plan, walker treatment baked in."""
+        info4 = level_info.get("PL4")
+        if info4 is None:
+            info4 = resolve("PL4")
+        info3 = level_info.get("PL3")
+        if info3 is None:
+            info3 = resolve("PL3")
+        info21 = level_info.get("PL2/1")
+        if info21 is None:
+            info21 = resolve("PL2/1")
+
+        mask = ENTRIES_PER_NODE - 1
+        node = self._root
+        idx4 = (page >> (3 * LEVEL_BITS)) & mask
+        stage4 = (node.base_paddr + idx4 * PTE_SIZE, info4[0], info4[1],
+                  page >> (3 * LEVEL_BITS), "PL4")
+        child = node.entries.get(idx4)
+        if child is None:
+            return None
+        idx3 = (page >> (2 * LEVEL_BITS)) & mask
+        stage3 = (child.base_paddr + idx3 * PTE_SIZE, info3[0], info3[1],
+                  page >> (2 * LEVEL_BITS), "PL3")
+        flat = child.entries.get(idx3)
+        if flat is None:
+            return None
+        index = page & (FLAT_ENTRIES - 1)
+        leaf = flat.entries.get(index)
+        if leaf is None:
+            return None
+        return ((stage4, stage3,
+                 (flat.base_paddr + index * PTE_SIZE, info21[0],
+                  info21[1], page, "PL2/1")),
+                None, leaf)
 
     def occupancy(self) -> Dict[str, float]:
         result: Dict[str, float] = {}

@@ -5,6 +5,14 @@ metadata.  This is what lets the simulator measure the paper's key
 motivation numbers: the L1 miss rate of metadata (Fig. 7, ~98 %) and the
 *pollution* effect — data lines evicted by metadata fills — that raises
 the normal-data miss rate from its ideal value.
+
+Hot-path design: resident lines are stored as packed ints
+(``kind_index << 1 | dirty``) rather than per-line objects, and the
+internal entry point :meth:`Cache.access_fast` takes plain positional
+arguments and returns an int code — no :class:`MemoryRequest`,
+:class:`CacheAccessResult` or per-fill ``CacheLine`` is ever allocated
+on the simulated hot path.  The object-based :meth:`Cache.access`
+remains as a thin shim for tests and external callers.
 """
 
 from __future__ import annotations
@@ -12,20 +20,40 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.mem.replacement import ReplacementPolicy, make_policy
-from repro.mem.request import AccessType, MemoryRequest, RequestKind
+from repro.mem.replacement import (
+    LruPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+from repro.mem.request import (
+    KIND_BY_INDEX,
+    KIND_INDEX,
+    AccessType,
+    MemoryRequest,
+    RequestKind,
+)
 from repro.sim.stats import HitMissStats
 
+#: Return codes of :meth:`Cache.access_fast`.
+HIT = 0
+MISS = 1
+MISS_CLEAN_EVICT = 2
+MISS_DIRTY_EVICT = 3
 
-@dataclass
+
+@dataclass(slots=True)
 class CacheLine:
-    """State of one resident line."""
+    """State of one resident line (public/introspection shape only).
+
+    Internally lines live as packed ints; this class survives as the
+    element type of :meth:`Cache.access`-era APIs.
+    """
 
     kind: RequestKind
     dirty: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class Eviction:
     """Description of a line pushed out by a fill."""
 
@@ -34,7 +62,7 @@ class Eviction:
     dirty: bool
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheAccessResult:
     """Outcome of one cache access."""
 
@@ -42,7 +70,7 @@ class CacheAccessResult:
     eviction: Optional[Eviction] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Per-kind hit/miss plus pollution accounting."""
 
@@ -85,6 +113,11 @@ class Cache:
             :func:`repro.mem.replacement.make_policy`.
     """
 
+    __slots__ = ("name", "size_bytes", "associativity", "hit_latency",
+                 "line_size", "num_sets", "stats", "_policy", "_sets",
+                 "_line_shift", "_kind_stats", "_is_lru",
+                 "_policy_evicts", "evict_tag", "evict_kind")
+
     def __init__(self, name: str, size_bytes: int, associativity: int,
                  hit_latency: int, line_size: int = 64,
                  replacement: str = "lru"):
@@ -100,11 +133,26 @@ class Cache:
         self.line_size = line_size
         self.num_sets = size_bytes // (line_size * associativity)
         self.stats = CacheStats()
+        # The per-kind stat objects are bound once and indexed by kind
+        # code on the fast path; CacheStats.reset() mutates them in
+        # place, so the binding stays valid for a cache's lifetime.
+        self._kind_stats = (self.stats.data, self.stats.metadata,
+                            self.stats.instruction)
         self._policy: ReplacementPolicy = make_policy(replacement)
-        self._sets: List[Dict[int, CacheLine]] = [
+        # LRU (the Table I policy everywhere) is inlined on the fast
+        # path; only other policies pay the strategy-object dispatch.
+        self._is_lru = type(self._policy) is LruPolicy
+        self._policy_evicts = (
+            type(self._policy).on_evict is not ReplacementPolicy.on_evict)
+        # tag -> packed line state: (kind_index << 1) | dirty
+        self._sets: List[Dict[int, int]] = [
             {} for _ in range(self.num_sets)
         ]
         self._line_shift = line_size.bit_length() - 1
+        # Victim details of the most recent access_fast that returned
+        # MISS_CLEAN_EVICT or MISS_DIRTY_EVICT (valid until next fill).
+        self.evict_tag = 0
+        self.evict_kind = 0
 
     # -- geometry helpers ---------------------------------------------------
 
@@ -123,54 +171,85 @@ class Cache:
         cache_set, line = self._locate(paddr)
         return line in cache_set
 
-    def access(self, request: MemoryRequest) -> CacheAccessResult:
-        """Look up ``request``; on miss, allocate the line.
+    def access_fast(self, paddr: int, kind: int, is_write: int) -> int:
+        """Look up ``paddr``; on miss, allocate the line.
 
-        Returns the hit/miss outcome plus any eviction the fill caused so
-        the hierarchy can account for write-back traffic.
+        Allocation-free internal entry point: ``kind`` is a kind code
+        (:data:`repro.mem.request.KIND_DATA` ...), ``is_write`` is 0/1.
+        Returns :data:`HIT`, :data:`MISS`, :data:`MISS_CLEAN_EVICT` or
+        :data:`MISS_DIRTY_EVICT`; for the two eviction codes the victim
+        is described by :attr:`evict_tag` / :attr:`evict_kind`.
         """
-        cache_set, line = self._locate(request.paddr)
-        kind_stats = self.stats.for_kind(request.kind)
+        line = paddr >> self._line_shift
+        cache_set = self._sets[line % self.num_sets]
         resident = cache_set.get(line)
+        kind_stats = self._kind_stats[kind]
         if resident is not None:
             kind_stats.hits += 1
-            self._policy.on_hit(cache_set, line)
-            if request.access is AccessType.WRITE:
-                resident.dirty = True
-            return CacheAccessResult(hit=True)
+            if self._is_lru:
+                # on_hit + dirty update in one dict round-trip.
+                cache_set[line] = cache_set.pop(line) | is_write
+            else:
+                self._policy.on_hit(cache_set, line)
+                if is_write:
+                    cache_set[line] = cache_set[line] | 1
+            return HIT
 
         kind_stats.misses += 1
-        eviction = self._fill(cache_set, line, request)
-        return CacheAccessResult(hit=False, eviction=eviction)
+        if len(cache_set) < self.associativity:
+            cache_set[line] = (kind << 1) | is_write
+            if not self._is_lru:
+                self._policy.on_insert(cache_set, line)
+            return MISS
 
-    def _fill(self, cache_set, line, request: MemoryRequest):
-        eviction = None
-        if len(cache_set) >= self.associativity:
+        if self._is_lru:
+            victim_tag = next(iter(cache_set))
+        else:
             victim_tag = self._policy.victim(cache_set)
-            victim = cache_set.pop(victim_tag)
-            eviction = Eviction(
-                line_addr=victim_tag, kind=victim.kind, dirty=victim.dirty
-            )
-            if victim.dirty:
-                self.stats.writebacks += 1
-            if (request.kind is RequestKind.METADATA
-                    and victim.kind is RequestKind.DATA):
+        packed = cache_set.pop(victim_tag)
+        if self._policy_evicts:
+            self._policy.on_evict(cache_set, victim_tag)
+        victim_kind = packed >> 1
+        dirty = packed & 1
+        if dirty:
+            self.stats.writebacks += 1
+        if kind == 1:  # METADATA evicting ...
+            if victim_kind == 0:  # ... DATA
                 self.stats.data_evicted_by_metadata += 1
-            elif (request.kind is RequestKind.DATA
-                    and victim.kind is RequestKind.METADATA):
-                self.stats.metadata_evicted_by_data += 1
-        cache_set[line] = CacheLine(
-            kind=request.kind,
-            dirty=request.access is AccessType.WRITE,
-        )
-        self._policy.on_insert(cache_set, line)
-        return eviction
+        elif kind == 0 and victim_kind == 1:
+            self.stats.metadata_evicted_by_data += 1
+        cache_set[line] = (kind << 1) | is_write
+        if not self._is_lru:
+            self._policy.on_insert(cache_set, line)
+        self.evict_tag = victim_tag
+        self.evict_kind = victim_kind
+        return MISS_DIRTY_EVICT if dirty else MISS_CLEAN_EVICT
+
+    def access(self, request: MemoryRequest) -> CacheAccessResult:
+        """Object-API shim over :meth:`access_fast`.
+
+        Returns the hit/miss outcome plus any eviction the fill caused
+        so callers can account for write-back traffic.
+        """
+        code = self.access_fast(
+            request.paddr, KIND_INDEX[request.kind],
+            1 if request.access is AccessType.WRITE else 0)
+        if code == HIT:
+            return CacheAccessResult(hit=True)
+        if code == MISS:
+            return CacheAccessResult(hit=False)
+        return CacheAccessResult(hit=False, eviction=Eviction(
+            line_addr=self.evict_tag,
+            kind=KIND_BY_INDEX[self.evict_kind],
+            dirty=code == MISS_DIRTY_EVICT,
+        ))
 
     def invalidate(self, paddr: int) -> bool:
         """Drop the line holding ``paddr``; True if it was resident."""
         cache_set, line = self._locate(paddr)
         if line in cache_set:
             del cache_set[line]
+            self._policy.on_evict(cache_set, line)
             return True
         return False
 
@@ -178,6 +257,7 @@ class Cache:
         """Empty the cache (statistics are preserved)."""
         for cache_set in self._sets:
             cache_set.clear()
+        self._policy.on_clear()
 
     @property
     def resident_lines(self) -> int:
@@ -188,6 +268,6 @@ class Cache:
         """How many resident lines hold each request kind."""
         counts = {kind: 0 for kind in RequestKind}
         for cache_set in self._sets:
-            for line in cache_set.values():
-                counts[line.kind] += 1
+            for packed in cache_set.values():
+                counts[KIND_BY_INDEX[packed >> 1]] += 1
         return counts

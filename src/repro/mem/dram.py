@@ -13,10 +13,16 @@ Two presets are provided: DDR4-2400 for the host CPU and HBM2 for the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List
 
-from repro.mem.request import AccessType, MemoryRequest, RequestKind
+from repro.mem.request import (
+    KIND_BY_INDEX,
+    KIND_INDEX,
+    AccessType,
+    MemoryRequest,
+    RequestKind,
+)
 from repro.sim.stats import LatencyStats, ratio
 
 
@@ -81,29 +87,40 @@ HBM2 = DramTiming(
 )
 
 
-@dataclass
 class DramStats:
-    """Aggregate DRAM statistics, split by request kind."""
+    """Aggregate DRAM statistics, split by request kind.
 
-    accesses_by_kind: Dict[RequestKind, int] = field(
-        default_factory=lambda: {kind: 0 for kind in RequestKind})
-    writes: int = 0
-    row_hits: int = 0
-    row_misses: int = 0
-    queue_delay: LatencyStats = field(default_factory=LatencyStats)
-    service_latency: LatencyStats = field(default_factory=LatencyStats)
+    Per-kind access counters live in a plain list indexed by kind code
+    (enum hashing is measurable on the per-access path); the
+    :attr:`accesses_by_kind` mapping view is materialized on read.
+    """
+
+    __slots__ = ("kind_counts", "writes", "row_hits", "row_misses",
+                 "queue_delay", "service_latency")
+
+    def __init__(self):
+        self.kind_counts: List[int] = [0] * len(KIND_BY_INDEX)
+        self.writes = 0
+        self.row_hits = 0
+        self.row_misses = 0
+        self.queue_delay = LatencyStats()
+        self.service_latency = LatencyStats()
+
+    @property
+    def accesses_by_kind(self) -> Dict[RequestKind, int]:
+        return {kind: self.kind_counts[index]
+                for index, kind in enumerate(KIND_BY_INDEX)}
 
     @property
     def accesses(self) -> int:
-        return sum(self.accesses_by_kind.values())
+        return sum(self.kind_counts)
 
     @property
     def row_hit_rate(self) -> float:
         return ratio(self.row_hits, self.row_hits + self.row_misses)
 
     def reset(self) -> None:
-        for kind in self.accesses_by_kind:
-            self.accesses_by_kind[kind] = 0
+        self.kind_counts = [0] * len(KIND_BY_INDEX)
         self.writes = 0
         self.row_hits = 0
         self.row_misses = 0
@@ -122,12 +139,17 @@ class _Bank:
 class DramModel:
     """Bank-queueing DRAM model.
 
-    ``access`` is the only timing entry point: given the cycle at which a
-    request reaches the memory controller, it returns the total latency
-    (queueing + service) and advances the target bank's busy window.
+    ``access_fast`` is the timing entry point: given the cycle at which
+    a request reaches the memory controller, it returns the total
+    latency (queueing + service) and advances the target bank's busy
+    window.  ``access`` is the :class:`MemoryRequest` shim over it.
     """
 
     LINE_SIZE = 64
+
+    __slots__ = ("timing", "stats", "_banks", "_lines_per_row",
+                 "_pow2", "_line_shift", "_ch_mask", "_ch_shift",
+                 "_row_shift", "_bank_mask", "_bank_shift")
 
     def __init__(self, timing: DramTiming):
         self.timing = timing
@@ -137,6 +159,24 @@ class DramModel:
             for _ in range(timing.channels * timing.banks_per_channel)
         ]
         self._lines_per_row = timing.row_bytes // self.LINE_SIZE
+        # Every shipped geometry is power-of-two; precompute shift/mask
+        # forms of the _decode arithmetic for the hot path (identical
+        # results, cheaper ops).  Non-power-of-two geometries fall back
+        # to the divmod path.
+        self._pow2 = all(
+            value & (value - 1) == 0 and value > 0
+            for value in (self.LINE_SIZE, timing.channels,
+                          timing.banks_per_channel, self._lines_per_row))
+        if self._pow2:
+            self._line_shift = self.LINE_SIZE.bit_length() - 1
+            self._ch_mask = timing.channels - 1
+            self._ch_shift = timing.channels.bit_length() - 1
+            self._row_shift = self._lines_per_row.bit_length() - 1
+            self._bank_mask = timing.banks_per_channel - 1
+            self._bank_shift = timing.banks_per_channel.bit_length() - 1
+        else:
+            self._line_shift = self._ch_mask = self._ch_shift = 0
+            self._row_shift = self._bank_mask = self._bank_shift = 0
 
     def _decode(self, paddr: int):
         """Map a physical address to (bank object, row number).
@@ -159,34 +199,76 @@ class DramModel:
         bank = self._banks[channel * banks + bank_idx]
         return bank, row
 
-    def access(self, now: float, request: MemoryRequest) -> float:
-        """Service ``request`` arriving at cycle ``now``; return latency."""
-        bank, row = self._decode(request.paddr)
+    def access_fast(self, now: float, paddr: int, kind: int,
+                    is_write: int) -> float:
+        """Service a request arriving at cycle ``now``; return latency.
+
+        Allocation-free entry point: ``kind`` is a kind code, and the
+        decode / latency-distribution updates are inlined (no method
+        dispatch on the per-access path).
+        """
+        # Inline _decode (hot): line -> channel, then permuted bank.
+        timing = self.timing
+        if self._pow2:
+            line = paddr >> self._line_shift
+            channel = line & self._ch_mask
+            within = (line >> self._ch_shift) >> self._row_shift
+            bank_mask = self._bank_mask
+            row = within >> self._bank_shift
+            bank_idx = ((within ^ row ^ (row >> 5)) & bank_mask)
+            bank = self._banks[
+                (channel << self._bank_shift) + bank_idx]
+        else:
+            bank, row = self._decode(paddr)
+
         start = bank.free_at if bank.free_at > now else now
         queue_delay = start - now
 
+        stats = self.stats
         if bank.open_row == row:
-            service = self.timing.row_hit_cycles
-            occupancy = self.timing.burst_cycles
-            self.stats.row_hits += 1
+            service = timing.row_hit_cycles
+            occupancy = timing.burst_cycles
+            stats.row_hits += 1
         else:
-            service = self.timing.row_miss_cycles
-            occupancy = self.timing.row_cycle_cycles
-            self.stats.row_misses += 1
+            service = timing.row_miss_cycles
+            occupancy = timing.row_cycle_cycles
+            stats.row_misses += 1
             bank.open_row = row
 
         bank.free_at = start + occupancy
-        self.stats.accesses_by_kind[request.kind] += 1
-        if request.access is AccessType.WRITE:
-            self.stats.writes += 1
-        self.stats.queue_delay.record(queue_delay)
+        stats.kind_counts[kind] += 1
+        if is_write:
+            stats.writes += 1
         total = queue_delay + service
-        self.stats.service_latency.record(total)
+        queue_stats = stats.queue_delay
+        queue_stats.total += queue_delay
+        queue_stats.count += 1
+        if queue_delay > queue_stats.maximum:
+            queue_stats.maximum = queue_delay
+        service_stats = stats.service_latency
+        service_stats.total += total
+        service_stats.count += 1
+        if total > service_stats.maximum:
+            service_stats.maximum = total
         return total
 
-    def drain_write(self, now: float, request: MemoryRequest) -> None:
+    def access(self, now: float, request: MemoryRequest) -> float:
+        """Object-API shim over :meth:`access_fast`."""
+        return self.access_fast(
+            now, request.paddr, KIND_INDEX[request.kind],
+            1 if request.access is AccessType.WRITE else 0)
+
+    def drain_write_fast(self, now: float, paddr: int, kind: int) -> None:
         """Account a write-back: occupies the bank but nobody waits on it."""
-        bank, row = self._decode(request.paddr)
+        if self._pow2:
+            line = paddr >> self._line_shift
+            channel = line & self._ch_mask
+            within = (line >> self._ch_shift) >> self._row_shift
+            row = within >> self._bank_shift
+            bank_idx = ((within ^ row ^ (row >> 5)) & self._bank_mask)
+            bank = self._banks[(channel << self._bank_shift) + bank_idx]
+        else:
+            bank, row = self._decode(paddr)
         start = bank.free_at if bank.free_at > now else now
         if bank.open_row != row:
             bank.open_row = row
@@ -196,8 +278,12 @@ class DramModel:
             self.stats.row_hits += 1
             occupancy = self.timing.burst_cycles
         bank.free_at = start + occupancy
-        self.stats.accesses_by_kind[request.kind] += 1
+        self.stats.kind_counts[kind] += 1
         self.stats.writes += 1
+
+    def drain_write(self, now: float, request: MemoryRequest) -> None:
+        """Object-API shim over :meth:`drain_write_fast`."""
+        self.drain_write_fast(now, request.paddr, KIND_INDEX[request.kind])
 
     def reset_state(self) -> None:
         """Clear bank occupancy and open rows (statistics preserved)."""

@@ -7,25 +7,36 @@ Two shapes exist in the paper (Table I):
 * **NDP**: per-core L1D only — the logic-layer power/area budget allows
   a single shallow cache level — directly on top of HBM2.
 
-``MemoryHierarchy.access`` is the single timing entry point used by the
-core model (normal data) and the page-table walker (metadata).  NDPage's
-metadata bypass is expressed on the request itself
-(:attr:`MemoryRequest.bypass_l1`), so the hierarchy stays mechanism
-agnostic.
+``MemoryHierarchy.access_fast`` is the single timing entry point used by
+the core model (normal data) and the page-table walker (metadata); it
+takes plain positional arguments so the per-reference path allocates
+nothing.  The object-based :meth:`MemoryHierarchy.access` shim accepts a
+:class:`MemoryRequest` for external callers.  NDPage's metadata bypass
+is expressed per request (``bypass_l1``), so the hierarchy stays
+mechanism agnostic.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.mem.cache import Cache
+from repro.mem.cache import (
+    HIT,
+    MISS_DIRTY_EVICT,
+    Cache,
+)
 from repro.mem.dram import DramModel, DramTiming
 from repro.mem.interconnect import MeshInterconnect
-from repro.mem.request import AccessType, MemoryRequest, RequestKind
+from repro.mem.request import (
+    KIND_INDEX,
+    AccessType,
+    MemoryRequest,
+    RequestKind,
+)
 
 
-@dataclass
+@dataclass(slots=True)
 class HierarchyStats:
     """Counters the caches/DRAM do not already track."""
 
@@ -50,6 +61,10 @@ class MemoryHierarchy:
         l3: optional shared last-level cache (CPU configuration).
     """
 
+    __slots__ = ("l1ds", "l2s", "l3", "dram", "noc", "stats",
+                 "_levels", "_levels_no_l1", "_noc_latency", "_line_size",
+                 "_single_level")
+
     def __init__(self, l1ds: List[Cache], dram: DramModel,
                  noc: MeshInterconnect, l2s: Optional[List[Cache]] = None,
                  l3: Optional[Cache] = None):
@@ -61,6 +76,21 @@ class MemoryHierarchy:
         self.dram = dram
         self.noc = noc
         self.stats = HierarchyStats()
+        # Per-core cache-level tuples, precomputed once: the hierarchy's
+        # shape is fixed after construction, so the hot path never
+        # rebuilds level lists.
+        self._levels = tuple(
+            tuple(self._core_caches(core)) for core in range(len(l1ds)))
+        self._levels_no_l1 = tuple(lv[1:] for lv in self._levels)
+        # The mesh latency is a pure function of the core id; cache it
+        # and bump the traversal counter in bulk on the fast path.
+        self._noc_latency = tuple(
+            noc.hops(core) * noc.config.hop_latency
+            + noc.serialization_cycles()
+            for core in range(len(l1ds)))
+        self._line_size = l1ds[0].line_size if l1ds else 64
+        # NDP shape: exactly one cache level -> skip the level loop.
+        self._single_level = l2s is None and l3 is None
 
     @property
     def num_cores(self) -> int:
@@ -74,45 +104,105 @@ class MemoryHierarchy:
             levels.append(self.l3)
         return levels
 
-    def access(self, now: float, request: MemoryRequest) -> float:
-        """Service ``request`` issued at cycle ``now``; return its latency.
+    def access_fast(self, now: float, paddr: int, kind: int,
+                    is_write: int, core_id: int, bypass_l1: int) -> float:
+        """Service one request issued at cycle ``now``; return its latency.
 
-        The request walks down the cache levels (paying each lookup
-        latency), and on a full miss crosses the mesh to DRAM.  Dirty
-        victims created by fills are drained to DRAM as posted writes
-        (they occupy banks but nobody waits on them), matching a
+        Allocation-free entry point (``kind`` is a kind code, flags are
+        0/1 ints).  The request walks down the cache levels (paying each
+        lookup latency), and on a full miss crosses the mesh to DRAM.
+        Dirty victims created by fills are drained to DRAM as posted
+        writes (they occupy banks but nobody waits on them), matching a
         write-back hierarchy.
         """
         self.stats.accesses += 1
-        latency = 0.0
-        levels = self._core_caches(request.core_id)
-        if request.bypass_l1:
-            self.stats.l1_bypasses += 1
-            levels = levels[1:]
-
-        for cache in levels:
-            latency += cache.hit_latency
-            result = cache.access(request)
-            if result.eviction is not None and result.eviction.dirty:
-                self._writeback(now + latency, result.eviction, request)
-            if result.hit:
-                return latency
+        dram = self.dram
+        if self._single_level:
+            # NDP: one private L1 over DRAM — no level loop, and the
+            # cache transition inlined (this is the hottest call chain
+            # in the simulator: with hits short-circuited at the call
+            # sites, nearly every request entering here misses to
+            # DRAM).  Mirrors Cache.access_fast exactly.
+            if bypass_l1:
+                self.stats.l1_bypasses += 1
+                latency = 0.0
+            else:
+                cache = self.l1ds[core_id]
+                latency = 0.0 + cache.hit_latency
+                line = paddr >> cache._line_shift
+                cache_set = cache._sets[line % cache.num_sets]
+                resident = cache_set.get(line)
+                kind_stats = cache._kind_stats[kind]
+                is_lru = cache._is_lru
+                if resident is not None:
+                    kind_stats.hits += 1
+                    if is_lru:
+                        cache_set[line] = cache_set.pop(line) | is_write
+                    else:
+                        cache._policy.on_hit(cache_set, line)
+                        if is_write:
+                            cache_set[line] = cache_set[line] | 1
+                    return latency
+                kind_stats.misses += 1
+                if len(cache_set) < cache.associativity:
+                    cache_set[line] = (kind << 1) | is_write
+                    if not is_lru:
+                        cache._policy.on_insert(cache_set, line)
+                else:
+                    if is_lru:
+                        victim_tag = next(iter(cache_set))
+                    else:
+                        victim_tag = cache._policy.victim(cache_set)
+                    packed = cache_set.pop(victim_tag)
+                    if cache._policy_evicts:
+                        cache._policy.on_evict(cache_set, victim_tag)
+                    victim_kind = packed >> 1
+                    cache_stats = cache.stats
+                    if kind == 1:  # METADATA evicting ...
+                        if victim_kind == 0:  # ... DATA
+                            cache_stats.data_evicted_by_metadata += 1
+                    elif kind == 0 and victim_kind == 1:
+                        cache_stats.metadata_evicted_by_data += 1
+                    cache_set[line] = (kind << 1) | is_write
+                    if not is_lru:
+                        cache._policy.on_insert(cache_set, line)
+                    if packed & 1:  # dirty victim
+                        cache_stats.writebacks += 1
+                        dram.drain_write_fast(
+                            now + latency,
+                            victim_tag * self._line_size, victim_kind)
+        else:
+            if bypass_l1:
+                self.stats.l1_bypasses += 1
+                levels = self._levels_no_l1[core_id]
+            else:
+                levels = self._levels[core_id]
+            latency = 0.0
+            for cache in levels:
+                latency += cache.hit_latency
+                code = cache.access_fast(paddr, kind, is_write)
+                if code == HIT:
+                    return latency
+                if code == MISS_DIRTY_EVICT:
+                    dram.drain_write_fast(
+                        now + latency, cache.evict_tag * self._line_size,
+                        cache.evict_kind)
 
         # Full miss: traverse the mesh, access DRAM, come back.
-        latency += self.noc.latency(request.core_id)
-        latency += self.dram.access(now + latency, request)
-        latency += self.noc.latency(request.core_id)
+        noc_latency = self._noc_latency[core_id]
+        self.noc.traversals += 2
+        latency += noc_latency
+        latency += dram.access_fast(now + latency, paddr, kind, is_write)
+        latency += noc_latency
         self.stats.dram_reads += 1
         return latency
 
-    def _writeback(self, now: float, eviction, request: MemoryRequest):
-        line_paddr = eviction.line_addr * self.l1ds[0].line_size
-        self.dram.drain_write(now, MemoryRequest(
-            paddr=line_paddr,
-            kind=eviction.kind,
-            access=AccessType.WRITE,
-            core_id=request.core_id,
-        ))
+    def access(self, now: float, request: MemoryRequest) -> float:
+        """Object-API shim over :meth:`access_fast`."""
+        return self.access_fast(
+            now, request.paddr, KIND_INDEX[request.kind],
+            1 if request.access is AccessType.WRITE else 0,
+            request.core_id, 1 if request.bypass_l1 else 0)
 
     # -- inspection helpers --------------------------------------------------
 

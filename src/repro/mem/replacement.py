@@ -5,6 +5,11 @@ Policies are small strategy objects operating on a per-set mapping of
 us for free).  The cache owns the mapping; the policy decides how hits
 reorder it and which tag is evicted on a fill.
 
+Stateful policies (SRRIP) also receive ``on_evict``/``on_clear``
+notifications whenever the cache drops a line — fills, invalidations and
+flushes alike — so their side tables cannot leak entries for lines that
+are no longer resident and skew later victim picks.
+
 LRU is the policy used for every structure in the paper's Table I; FIFO,
 Random and SRRIP exist for ablations and for exercising the cache model
 in tests.
@@ -31,6 +36,18 @@ class ReplacementPolicy(ABC):
     @abstractmethod
     def victim(self, cache_set: Dict) -> int:
         """Choose the tag to evict from a full set."""
+
+    def on_evict(self, cache_set: Dict, tag: int) -> None:
+        """Drop any per-line state after ``tag`` left the cache.
+
+        Called for *every* removal — fill-driven evictions,
+        ``Cache.invalidate`` and ``Cache.flush`` — after the tag has
+        been removed from ``cache_set``.  Stateless policies need not
+        override this.
+        """
+
+    def on_clear(self) -> None:
+        """Drop all per-line state (the cache was flushed)."""
 
 
 class LruPolicy(ReplacementPolicy):
@@ -101,10 +118,15 @@ class SrripPolicy(ReplacementPolicy):
         while True:
             for tag in cache_set:
                 if self._rrpv.get(tag, self.MAX_RRPV) >= self.MAX_RRPV:
-                    self._rrpv.pop(tag, None)
                     return tag
             for tag in cache_set:
                 self._rrpv[tag] = self._rrpv.get(tag, 0) + 1
+
+    def on_evict(self, cache_set: Dict, tag: int) -> None:
+        self._rrpv.pop(tag, None)
+
+    def on_clear(self) -> None:
+        self._rrpv.clear()
 
 
 _POLICIES = {

@@ -5,6 +5,15 @@ The distinction the paper leans on throughout is *normal data* versus
 differently at the L1 cache (Section V-A).  Every request in the
 simulator therefore carries a :class:`RequestKind` so caches, DRAM and
 statistics can attribute traffic correctly.
+
+Hot-path representation: the simulator's internal fast paths
+(``Cache.access_fast``, ``MemoryHierarchy.access_fast``,
+``DramModel.access_fast``) never build :class:`MemoryRequest` objects —
+they pass a small *kind index* (:data:`KIND_DATA`,
+:data:`KIND_METADATA`, :data:`KIND_INSTRUCTION`) and an ``is_write``
+flag as plain positional ints.  :class:`MemoryRequest` remains the
+public, self-describing API; the object-based entry points are thin
+shims over the positional ones.
 """
 
 from __future__ import annotations
@@ -25,12 +34,25 @@ class RequestKind(enum.Enum):
         return self is RequestKind.METADATA
 
 
+#: Integer kind codes used on the allocation-free fast paths.
+KIND_DATA = 0
+KIND_METADATA = 1
+KIND_INSTRUCTION = 2
+
+#: kind index -> RequestKind (inverse of KIND_INDEX).
+KIND_BY_INDEX = (RequestKind.DATA, RequestKind.METADATA,
+                 RequestKind.INSTRUCTION)
+
+#: RequestKind -> kind index.
+KIND_INDEX = {kind: index for index, kind in enumerate(KIND_BY_INDEX)}
+
+
 class AccessType(enum.Enum):
     READ = "read"
     WRITE = "write"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemoryRequest:
     """A single line-granularity physical memory request.
 

@@ -10,21 +10,26 @@
 Translation cycles (TLB + walk) and OS fault cycles are accounted
 separately: the paper's "address translation overhead" (Fig. 5) is the
 former, while end-to-end speedups include both.
+
+Hot-path design: :meth:`Mmu.translate_parts` is the allocation-free
+entry point — it returns a plain tuple and inlines the L1-DTLB hit
+(one dict probe), which is the overwhelmingly common outcome.
+:meth:`Mmu.translate` wraps it in a :class:`TranslationOutcome` for
+external callers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.mmu.tlb import TlbHierarchy
 from repro.mmu.walker import PageTableWalker
 from repro.sim.stats import LatencyStats
-from repro.vm.address import vpn
+from repro.vm.address import PAGE_SHIFT, VA_MASK
 from repro.vm.os_model import OSMemoryManager
 
 
-@dataclass
+@dataclass(slots=True)
 class TranslationOutcome:
     """What one address translation cost and produced."""
 
@@ -35,7 +40,7 @@ class TranslationOutcome:
     walked: bool
 
 
-@dataclass
+@dataclass(slots=True)
 class MmuStats:
     translations: int = 0
     tlb_hits: int = 0
@@ -73,6 +78,8 @@ class Mmu:
             comparison against real mechanisms stays apples-to-apples.
     """
 
+    __slots__ = ("core_id", "tlbs", "walker", "os", "ideal", "stats")
+
     def __init__(self, core_id: int, tlbs: TlbHierarchy,
                  walker: PageTableWalker, os_model: OSMemoryManager,
                  ideal: bool = False):
@@ -83,39 +90,94 @@ class Mmu:
         self.ideal = ideal
         self.stats = MmuStats()
 
-    def translate(self, now: float, vaddr: int) -> TranslationOutcome:
-        """Translate ``vaddr`` for an access issued at cycle ``now``."""
-        self.stats.translations += 1
-        page = vpn(vaddr)
+    def translate_parts(self, now: float, vaddr: int):
+        """Translate ``vaddr`` for an access issued at cycle ``now``.
+
+        Allocation-free fast path.  Returns the plain tuple
+        ``(paddr, latency, fault_cycles, tlb_hit, walked)``.
+        """
+        stats = self.stats
+        stats.translations += 1
+        page = (vaddr & VA_MASK) >> PAGE_SHIFT
 
         if self.ideal:
-            fault_cycles = self.os.ensure_mapped(vaddr, site=self.core_id)
-            translation = self.os.page_table.lookup(page)
-            self.stats.tlb_hits += 1
-            self.stats.fault_cycles += fault_cycles
-            return TranslationOutcome(
-                paddr=translation.paddr(vaddr), latency=0.0,
-                fault_cycles=fault_cycles, tlb_hit=True, walked=False)
+            translation, fault_cycles = self.os.ensure_translated(
+                vaddr, site=self.core_id)
+            stats.tlb_hits += 1
+            stats.fault_cycles += fault_cycles
+            shift = translation.page_shift
+            return ((translation.pfn << shift)
+                    | (vaddr & ((1 << shift) - 1)),
+                    0.0, fault_cycles, True, False)
 
-        translation, latency = self.tlbs.lookup(page)
+        # Inlined L1-DTLB probe (the common case: one dict round-trip).
+        tlbs = self.tlbs
+        tlbs.lookups += 1
+        l1 = tlbs.l1_small
+        tlb_set = l1._sets[page % l1.num_sets]
+        translation = tlb_set.get(page)
         if translation is not None:
-            self.stats.tlb_hits += 1
-            self.stats.translation_cycles += latency
-            return TranslationOutcome(
-                paddr=translation.paddr(vaddr), latency=latency,
-                fault_cycles=0.0, tlb_hit=True, walked=False)
+            l1.stats.hits += 1
+            tlb_set[page] = tlb_set.pop(page)  # refresh LRU position
+            latency = l1.latency
+            stats.tlb_hits += 1
+            stats.translation_cycles += latency
+            shift = translation[1]  # Translation fields by index (hot)
+            return ((translation[0] << shift)
+                    | (vaddr & ((1 << shift) - 1)),
+                    latency, 0.0, True, False)
+        l1.stats.misses += 1
+        return self._translate_slow(now, vaddr, page)
 
-        # Full TLB miss: resolve any fault, then walk.
-        fault_cycles = self.os.ensure_mapped(vaddr, site=self.core_id)
-        outcome = self.walker.walk(now + latency + fault_cycles, page)
-        latency += outcome.latency
-        translation = self.os.page_table.lookup(page)
+    def _translate_slow(self, now: float, vaddr: int, page: int):
+        """L1-DTLB miss: 2 MB L1 / L2 TLBs, then fault + walk."""
+        stats = self.stats
+        translation, latency = \
+            self.tlbs.lookup_after_l1_small_miss(page)
+        if translation is not None:
+            stats.tlb_hits += 1
+            stats.translation_cycles += latency
+            shift = translation[1]
+            return ((translation[0] << shift)
+                    | (vaddr & ((1 << shift) - 1)),
+                    latency, 0.0, True, False)
+
+        # Full TLB miss: resolve any fault, then walk.  The walker's
+        # plan memo resolves the PTE access plan and the translation in
+        # one table descent; only an actual fault (plan_info None)
+        # takes the OS path, after which the page is mapped and the
+        # plan resolves.
+        walker = self.walker
+        plan = walker.plan_info(page)
+        if plan is not None:
+            fault_cycles = 0.0
+        else:
+            _, fault_cycles = self.os.ensure_translated(
+                vaddr, site=self.core_id)
+            plan = walker.plan_info(page)
+        flat, staged, translation = plan
+        walk_latency = walker.walk_from_plan(
+            now + latency + fault_cycles, flat, staged)
+        latency += walk_latency
         self.tlbs.insert(page, translation)
 
-        self.stats.walks += 1
-        self.stats.translation_cycles += latency
-        self.stats.fault_cycles += fault_cycles
-        self.stats.walk_latency.record(outcome.latency)
+        stats.walks += 1
+        stats.translation_cycles += latency
+        stats.fault_cycles += fault_cycles
+        walk_stats = stats.walk_latency
+        walk_stats.total += walk_latency
+        walk_stats.count += 1
+        if walk_latency > walk_stats.maximum:
+            walk_stats.maximum = walk_latency
+        shift = translation[1]
+        return ((translation[0] << shift)
+                | (vaddr & ((1 << shift) - 1)),
+                latency, fault_cycles, False, True)
+
+    def translate(self, now: float, vaddr: int) -> TranslationOutcome:
+        """Object-API shim over :meth:`translate_parts`."""
+        paddr, latency, fault_cycles, tlb_hit, walked = \
+            self.translate_parts(now, vaddr)
         return TranslationOutcome(
-            paddr=translation.paddr(vaddr), latency=latency,
-            fault_cycles=fault_cycles, tlb_hit=False, walked=True)
+            paddr=paddr, latency=latency, fault_cycles=fault_cycles,
+            tlb_hit=tlb_hit, walked=walked)

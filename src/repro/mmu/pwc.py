@@ -20,6 +20,9 @@ from repro.sim.stats import HitMissStats
 class PageWalkCache:
     """Small set-associative cache of one level's page-table entries."""
 
+    __slots__ = ("level", "entries", "associativity", "latency",
+                 "num_sets", "stats", "_sets")
+
     def __init__(self, level: str, entries: int = 32,
                  associativity: int = 4, latency: int = 1):
         if entries % associativity != 0:
@@ -35,6 +38,15 @@ class PageWalkCache:
         ]
 
     def _set_for(self, key: Hashable) -> Dict[Hashable, None]:
+        # Walker keys are ('LEVEL', prefix) tuples; indexing by the
+        # integer prefix matches how a real MMU cache selects its set
+        # (low prefix bits) and — unlike hash() of a tuple containing a
+        # str — is stable across processes, which keeps whole-run
+        # statistics reproducible (str hashing is randomized per
+        # process).  Non-tuple keys fall back to hash() for API
+        # compatibility.
+        if type(key) is tuple and type(key[-1]) is int:
+            return self._sets[key[-1] % self.num_sets]
         return self._sets[hash(key) % self.num_sets]
 
     def lookup(self, key: Hashable) -> bool:

@@ -24,6 +24,9 @@ from repro.sim.stats import HitMissStats
 class Tlb:
     """One set-associative TLB with LRU replacement."""
 
+    __slots__ = ("name", "entries", "associativity", "latency",
+                 "page_shift", "num_sets", "stats", "_sets")
+
     def __init__(self, name: str, entries: int, associativity: int,
                  latency: int, page_shift: int = PAGE_SHIFT):
         if entries % associativity != 0:
@@ -55,6 +58,9 @@ class Tlb:
     def insert(self, key: int, translation: Translation) -> None:
         tlb_set = self._sets[key % self.num_sets]
         if key in tlb_set:
+            # Reinsert behaves like a touch: refresh LRU recency (the
+            # same movement ``lookup`` performs), don't just overwrite.
+            del tlb_set[key]
             tlb_set[key] = translation
             return
         if len(tlb_set) >= self.associativity:
@@ -81,6 +87,8 @@ class Tlb:
 class TlbHierarchy:
     """L1 (4 KB + 2 MB) and L2 TLBs for one core."""
 
+    __slots__ = ("l1_small", "l1_huge", "l2", "lookups", "full_misses")
+
     def __init__(self, l1_small: Tlb, l1_huge: Tlb, l2: Tlb):
         if l1_small.page_shift != PAGE_SHIFT:
             raise ValueError("l1_small must be a 4 KB TLB")
@@ -103,29 +111,79 @@ class TlbHierarchy:
         structures are probed in parallel (one L1 latency); the L2 is
         probed only on an L1 miss, adding its latency, and refills the
         L1 on a hit.
+
+        The L1-small probe is inlined (one dict round-trip) because it
+        is the overwhelmingly common outcome on the simulated hot path;
+        the remaining levels live in :meth:`lookup_after_l1_small_miss`
+        so fast-path callers that probe the L1 themselves can continue
+        from the miss without double counting.
         """
         self.lookups += 1
-        latency = self.l1_small.latency
-        translation = self.l1_small.lookup(page)
+        l1 = self.l1_small
+        tlb_set = l1._sets[page % l1.num_sets]
+        translation = tlb_set.get(page)
         if translation is not None:
-            return translation, latency
-        translation = self.l1_huge.lookup(self._huge_key(page))
-        if translation is not None:
-            return translation, latency
+            l1.stats.hits += 1
+            tlb_set[page] = tlb_set.pop(page)  # refresh LRU position
+            return translation, l1.latency
+        l1.stats.misses += 1
+        return self.lookup_after_l1_small_miss(page)
 
-        latency += self.l2.latency
-        translation = self.l2.lookup(page)
+    def lookup_after_l1_small_miss(self, page: int):
+        """Continue a lookup whose L1-small probe already missed.
+
+        The caller must have recorded the L1-small miss (and the
+        ``lookups`` increment); this probes the 2 MB L1 and the L2,
+        refilling the L1 on an L2 hit, exactly like :meth:`lookup`.
+        Probes are inlined (one dict round-trip each) — this runs on
+        every L1-DTLB miss.
+        """
+        latency = self.l1_small.latency
+        huge = self.l1_huge
+        huge_key = page >> (HUGE_PAGE_SHIFT - PAGE_SHIFT)
+        huge_set = huge._sets[huge_key % huge.num_sets]
+        translation = huge_set.get(huge_key)
         if translation is not None:
+            huge.stats.hits += 1
+            huge_set[huge_key] = huge_set.pop(huge_key)
+            return translation, latency
+        huge.stats.misses += 1
+
+        l2 = self.l2
+        latency += l2.latency
+        l2_set = l2._sets[page % l2.num_sets]
+        translation = l2_set.get(page)
+        if translation is not None:
+            l2.stats.hits += 1
+            l2_set[page] = l2_set.pop(page)
             self.l1_small.insert(page, translation)
             return translation, latency
+        l2.stats.misses += 1
         self.full_misses += 1
         return None, latency
 
     def insert(self, page: int, translation: Translation) -> None:
-        """Install a walk result at the right granularity."""
+        """Install a walk result at the right granularity.
+
+        The two 4 KB inserts are inlined (this runs once per page walk;
+        semantics match :meth:`Tlb.insert`, including the LRU refresh
+        on reinsert of a resident key).
+        """
         if translation.page_shift == PAGE_SHIFT:
-            self.l1_small.insert(page, translation)
-            self.l2.insert(page, translation)
+            tlb = self.l1_small
+            tlb_set = tlb._sets[page % tlb.num_sets]
+            if page in tlb_set:
+                del tlb_set[page]
+            elif len(tlb_set) >= tlb.associativity:
+                del tlb_set[next(iter(tlb_set))]
+            tlb_set[page] = translation
+            tlb = self.l2
+            tlb_set = tlb._sets[page % tlb.num_sets]
+            if page in tlb_set:
+                del tlb_set[page]
+            elif len(tlb_set) >= tlb.associativity:
+                del tlb_set[next(iter(tlb_set))]
+            tlb_set[page] = translation
         else:
             self.l1_huge.insert(self._huge_key(page), translation)
 

@@ -15,20 +15,32 @@ Each core consumes its workload's reference stream.  Per reference:
 The model is deliberately simple — mechanistic, like Sniper's interval
 core — because every compared mechanism runs on the *same* core model
 and only the translation path differs.
+
+Hot-path design: a core can be fed either a legacy per-item iterator
+(``stream``) or whole reference chunks (``chunks``, plain address/write
+lists handed over by :meth:`repro.workloads.base.Workload.stream_chunks`).
+With chunks, :meth:`Core.step_chunk` advances through an entire chunk in
+one Python frame, inlining the L1-DTLB-hit + L1-cache-hit fast path and
+falling back to the shared slow paths (``Mmu.translate_parts``,
+``MemoryHierarchy.access_fast``) only on misses — so the common
+reference allocates nothing and crosses no function-call boundary.
+:meth:`Core.step` remains the one-reference entry point used by the
+multi-core engine and produces bit-identical statistics.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Iterator, Optional, Tuple
+from typing import Deque, Iterator, List, Optional, Tuple
 
 from repro.mem.hierarchy import MemoryHierarchy
-from repro.mem.request import AccessType, MemoryRequest, RequestKind
+from repro.mem.request import KIND_DATA
 from repro.mmu.mmu import Mmu
+from repro.vm.address import PAGE_SHIFT, VA_MASK
 
 
-@dataclass
+@dataclass(slots=True)
 class CoreStats:
     """Cycle and instruction accounting for one core."""
 
@@ -54,13 +66,22 @@ class CoreStats:
 
 
 class Core:
-    """One NDP/CPU core bound to a reference stream and an MMU."""
+    """One NDP/CPU core bound to a reference stream and an MMU.
+
+    Exactly one of ``stream`` (iterator of ``(vaddr, is_write)`` pairs)
+    and ``chunks`` (iterator of ``(addr_list, write_list)`` chunk pairs)
+    should be provided; ``chunks`` enables the chunked fast path.
+    """
 
     def __init__(self, core_id: int, mmu: Mmu, hierarchy: MemoryHierarchy,
-                 stream: Iterator[Tuple[int, bool]], gap_cycles: int,
-                 mlp: int = 4, issue_cycles: int = 1):
+                 stream: Optional[Iterator[Tuple[int, bool]]],
+                 gap_cycles: int, mlp: int = 4, issue_cycles: int = 1,
+                 chunks: Optional[Iterator[Tuple[List[int], List[bool]]]]
+                 = None):
         if mlp < 1:
             raise ValueError("mlp must be >= 1")
+        if stream is not None and chunks is not None:
+            raise ValueError("provide either stream or chunks, not both")
         self.core_id = core_id
         self.mmu = mmu
         self.hierarchy = hierarchy
@@ -69,12 +90,31 @@ class Core:
         self.mlp = mlp
         self.issue_cycles = issue_cycles
         self.stats = CoreStats()
+        self._chunks = chunks
+        self._buf_addrs: List[int] = []
+        self._buf_writes: List[bool] = []
+        self._buf_pos = 0
         self._outstanding: Deque[float] = deque()
         self._finished = False
 
     @property
     def finished(self) -> bool:
         return self._finished
+
+    def _refill(self) -> bool:
+        """Pull the next non-empty chunk into the buffer; False when
+        the chunk stream is exhausted (empty chunks are skipped, not
+        treated as end-of-stream)."""
+        if self._chunks is None:
+            return False
+        while True:
+            nxt = next(self._chunks, None)
+            if nxt is None:
+                return False
+            self._buf_addrs, self._buf_writes = nxt
+            self._buf_pos = 0
+            if len(self._buf_addrs) > 0:
+                return True
 
     def step(self, now: float) -> Optional[float]:
         """Execute one memory reference starting at cycle ``now``.
@@ -83,17 +123,28 @@ class Core:
         reference, or None when the stream is exhausted (after draining
         outstanding accesses into the cycle count).
         """
-        item = next(self.stream, None)
-        if item is None:
-            self._drain(now)
-            return None
-        vaddr, is_write = item
+        if self._chunks is not None:
+            pos = self._buf_pos
+            if pos >= len(self._buf_addrs) and not self._refill():
+                self._drain(now)
+                return None
+            pos = self._buf_pos
+            vaddr = self._buf_addrs[pos]
+            is_write = self._buf_writes[pos]
+            self._buf_pos = pos + 1
+        else:
+            item = next(self.stream, None)
+            if item is None:
+                self._drain(now)
+                return None
+            vaddr, is_write = item
 
         clock = now
-        outcome = self.mmu.translate(clock, vaddr)
-        clock += outcome.latency + outcome.fault_cycles
-        self.stats.translation_cycles += outcome.latency
-        self.stats.fault_cycles += outcome.fault_cycles
+        paddr, t_latency, fault_cycles, _, _ = \
+            self.mmu.translate_parts(clock, vaddr)
+        clock += t_latency + fault_cycles
+        self.stats.translation_cycles += t_latency
+        self.stats.fault_cycles += fault_cycles
 
         # Data access through the bounded miss window.
         if len(self._outstanding) >= self.mlp:
@@ -101,13 +152,9 @@ class Core:
             if oldest > clock:
                 self.stats.data_stall_cycles += oldest - clock
                 clock = oldest
-        request = MemoryRequest(
-            paddr=outcome.paddr,
-            kind=RequestKind.DATA,
-            access=AccessType.WRITE if is_write else AccessType.READ,
-            core_id=self.core_id,
-        )
-        completion = clock + self.hierarchy.access(clock, request)
+        completion = clock + self.hierarchy.access_fast(
+            clock, paddr, KIND_DATA, 1 if is_write else 0,
+            self.core_id, 0)
         self._outstanding.append(completion)
 
         self.stats.references += 1
@@ -115,6 +162,136 @@ class Core:
         next_ready = clock + self.issue_cycles + self.gap_cycles
         self.stats.cycles = next_ready
         return next_ready
+
+    def step_chunk(self, now: float) -> Optional[float]:
+        """Run every reference left in the current chunk in one frame.
+
+        Chunked fast path (single-core engine): identical simulation to
+        issuing :meth:`step` per reference, but the TLB-hit + L1-hit
+        common case is fully inlined.  Returns the core's next ready
+        time after the chunk, or None when the stream is exhausted.
+        """
+        pos = self._buf_pos
+        if pos >= len(self._buf_addrs) and not self._refill():
+            self._drain(now)
+            return None
+
+        # Local bindings for everything the per-reference loop touches.
+        addrs = self._buf_addrs
+        writes = self._buf_writes
+        pos = self._buf_pos
+        end = len(addrs)
+        stats = self.stats
+        mmu = self.mmu
+        mmu_stats = mmu.stats
+        hierarchy = self.hierarchy
+        hier_stats = hierarchy.stats
+        outstanding = self._outstanding
+        mlp = self.mlp
+        core_id = self.core_id
+        gap_cycles = self.gap_cycles
+        post_cycles = self.issue_cycles + gap_cycles
+        per_ref_instr = 1 + gap_cycles
+
+        ideal = mmu.ideal
+        if not ideal:
+            tlbs = mmu.tlbs
+            l1t = tlbs.l1_small
+            l1t_sets = l1t._sets
+            l1t_num_sets = l1t.num_sets
+            l1t_latency = l1t.latency
+            l1t_stats = l1t.stats
+        l1c = hierarchy.l1ds[core_id]
+        l1c_fast = l1c._is_lru
+        l1c_sets = l1c._sets
+        l1c_num_sets = l1c.num_sets
+        l1c_shift = l1c._line_shift
+        l1c_latency = l1c.hit_latency
+        l1c_data_stats = l1c._kind_stats[KIND_DATA]
+
+        # Int counters are batched (exact); float cycle accounting goes
+        # straight into the stats fields per reference so the summation
+        # order — and with it every reported value — is bit-identical
+        # to the one-reference step() path.
+        references = 0
+        instructions = 0
+
+        while pos < end:
+            vaddr = addrs[pos]
+            is_write = writes[pos]
+            pos += 1
+            clock = now
+
+            # -- translation: inlined L1-DTLB hit, shared slow path ----
+            if ideal:
+                paddr, t_latency, fault_cycles, _, _ = \
+                    mmu.translate_parts(clock, vaddr)
+                clock += t_latency + fault_cycles
+                stats.translation_cycles += t_latency
+                stats.fault_cycles += fault_cycles
+            else:
+                page = (vaddr & VA_MASK) >> PAGE_SHIFT
+                tlb_set = l1t_sets[page % l1t_num_sets]
+                translation = tlb_set.get(page)
+                if translation is not None:
+                    # Bookkeeping mirror of Mmu.translate_parts's hit arm.
+                    mmu_stats.translations += 1
+                    tlbs.lookups += 1
+                    l1t_stats.hits += 1
+                    tlb_set[page] = tlb_set.pop(page)
+                    mmu_stats.tlb_hits += 1
+                    mmu_stats.translation_cycles += l1t_latency
+                    stats.translation_cycles += l1t_latency
+                    clock += l1t_latency
+                    # Translation fields by index (C-speed on the
+                    # hottest line of the simulator).
+                    shift = translation[1]
+                    paddr = ((translation[0] << shift)
+                             | (vaddr & ((1 << shift) - 1)))
+                else:
+                    # Bookkeeping mirror of translate_parts's miss arm,
+                    # then straight to the shared slow path (avoids
+                    # re-probing the set just probed).
+                    mmu_stats.translations += 1
+                    tlbs.lookups += 1
+                    l1t_stats.misses += 1
+                    paddr, t_latency, fault_cycles, _, _ = \
+                        mmu._translate_slow(clock, vaddr, page)
+                    clock += t_latency + fault_cycles
+                    stats.translation_cycles += t_latency
+                    stats.fault_cycles += fault_cycles
+
+            # -- data access through the bounded miss window -----------
+            if len(outstanding) >= mlp:
+                oldest = outstanding.popleft()
+                if oldest > clock:
+                    stats.data_stall_cycles += oldest - clock
+                    clock = oldest
+
+            # Inlined L1 hit (LRU caches only); misses take the shared
+            # hierarchy fast path, which re-probes the set.
+            line = paddr >> l1c_shift
+            cache_set = l1c_sets[line % l1c_num_sets]
+            packed = cache_set.get(line)
+            if packed is not None and l1c_fast:
+                hier_stats.accesses += 1
+                l1c_data_stats.hits += 1
+                cache_set[line] = cache_set.pop(line) | is_write
+                completion = clock + l1c_latency
+            else:
+                completion = clock + hierarchy.access_fast(
+                    clock, paddr, KIND_DATA, is_write, core_id, 0)
+            outstanding.append(completion)
+
+            references += 1
+            instructions += per_ref_instr
+            now = clock + post_cycles
+
+        self._buf_pos = pos
+        stats.references += references
+        stats.instructions += instructions
+        stats.cycles = now
+        return now
 
     def _drain(self, now: float) -> None:
         """Wait for in-flight accesses once the stream ends."""

@@ -19,7 +19,7 @@ def ratio(numerator: float, denominator: float) -> float:
     return numerator / denominator
 
 
-@dataclass
+@dataclass(slots=True)
 class HitMissStats:
     """Hit/miss counters shared by TLBs, PWCs and caches."""
 
@@ -47,7 +47,7 @@ class HitMissStats:
         self.misses += other.misses
 
 
-@dataclass
+@dataclass(slots=True)
 class LatencyStats:
     """Accumulates a latency distribution (sum / count / max)."""
 
@@ -77,7 +77,7 @@ class LatencyStats:
             self.maximum = other.maximum
 
 
-@dataclass
+@dataclass(slots=True)
 class CounterBag:
     """A free-form bag of named integer counters."""
 

@@ -10,6 +10,7 @@ evaluates.
 
 from __future__ import annotations
 
+import gc
 from typing import List, Optional
 
 from repro.core.mechanisms import MechanismSpec, get_mechanism
@@ -49,13 +50,23 @@ class System:
             policy=self.spec.paging_policy, costs=config.fault_costs,
             thp_promotion_fraction=config.thp_promotion_fraction)
         self.hierarchy = self._build_hierarchy()
+        # When the warmup replays the exact ROI stream (the default),
+        # the chunks materialized for prefaulting are handed to the
+        # cores afterwards, so each stream is generated once.  Bounded
+        # so huge sweeps do not hold every reference in memory.
+        self._replay_chunks: Optional[List[List[tuple]]] = None
+        warmup = (config.refs_per_core if config.warmup_refs is None
+                  else config.warmup_refs)
+        if (warmup == config.refs_per_core
+                and config.refs_per_core * config.num_cores <= 4_000_000):
+            self._replay_chunks = [[] for _ in range(config.num_cores)]
         self.pwc_sets: List[Optional[PwcSet]] = []
         self.mmus: List[Mmu] = []
         self.cores: List[Core] = []
+        self._prefault()
         for core_id in range(config.num_cores):
             self._add_core(core_id)
         self.engine = SimulationEngine(self.cores)
-        self._prefault()
 
     def _prefault(self) -> None:
         """Untimed warmup: demand-page each core's early footprint.
@@ -72,22 +83,88 @@ class System:
                   else cfg.warmup_refs)
         if warmup <= 0:
             return
-        streams = [
-            self.workload.stream(core_id, warmup)
-            for core_id in range(cfg.num_cores)
-        ]
+        # Like the run loop, prefaulting allocates heavily and builds
+        # no reference cycles; pause the cyclic collector for it.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            self._prefault_inner(warmup)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    def _prefault_inner(self, warmup: int) -> None:
+        cfg = self.config
+        # Chunked consumption with a 256-reference round-robin quantum:
+        # allocation order (and with it frame placement / contiguity
+        # consumption) is identical to stepping the per-item streams.
+        record = self._replay_chunks
+        if record is not None:
+            def recording(core_id):
+                for chunk in self.workload.stream_chunks(core_id, warmup):
+                    record[core_id].append(chunk)
+                    yield chunk
+            chunk_iters = [
+                recording(core_id) for core_id in range(cfg.num_cores)
+            ]
+        else:
+            chunk_iters = [
+                self.workload.stream_chunks(core_id, warmup)
+                for core_id in range(cfg.num_cores)
+            ]
+        buffers: List[List[int]] = [[] for _ in range(cfg.num_cores)]
+        positions = [0] * cfg.num_cores
         ensure_mapped = self.os.ensure_mapped
+        os_stats = self.os.stats
+        # Repeat touches of an already-faulted page are no-ops, so they
+        # can be skipped via a seen-set — *until* the first reclaim:
+        # once the OS starts evicting, a previously mapped page may need
+        # re-faulting and every touch must go through the full path
+        # again (seed-identical behaviour under memory pressure).
+        seen: Optional[set] = set()
         active = list(range(cfg.num_cores))
         while active:
             still_active = []
             for core_id in active:
-                stream = streams[core_id]
-                for _ in range(256):
-                    item = next(stream, None)
-                    if item is None:
-                        break
-                    ensure_mapped(item[0], site=core_id)
-                else:
+                addrs = buffers[core_id]
+                pos = positions[core_id]
+                quota = 256
+                exhausted = False
+                while quota:
+                    if pos >= len(addrs):
+                        nxt = next(chunk_iters[core_id], None)
+                        if nxt is None:
+                            exhausted = True
+                            break
+                        addrs = buffers[core_id] = nxt[0]
+                        pos = 0
+                    stop = pos + quota
+                    if stop > len(addrs):
+                        stop = len(addrs)
+                    if seen is not None:
+                        index = pos
+                        while index < stop:
+                            vaddr = addrs[index]
+                            index += 1
+                            page = vaddr >> PAGE_SHIFT
+                            if page in seen:
+                                continue
+                            ensure_mapped(vaddr, site=core_id)
+                            seen.add(page)
+                            if os_stats.reclaims:
+                                seen = None  # pressure: exact from here
+                                break
+                        if seen is None:
+                            for vaddr in addrs[index:stop]:
+                                ensure_mapped(vaddr, site=core_id)
+                    else:
+                        for vaddr in addrs[pos:stop]:
+                            ensure_mapped(vaddr, site=core_id)
+                    quota -= stop - pos
+                    pos = stop
+                positions[core_id] = pos
+                if not exhausted:
                     still_active.append(core_id)
             active = still_active
         # Warmup fault work is setup, not ROI: reset the OS counters.
@@ -137,10 +214,17 @@ class System:
             self.page_table, self.hierarchy, core_id,
             pwcs=pwcs, bypass=self.spec.build_bypass())
         mmu = Mmu(core_id, tlbs, walker, self.os, ideal=self.spec.ideal)
-        stream = self.workload.stream(core_id, cfg.refs_per_core)
-        core = Core(core_id, mmu, self.hierarchy, stream,
+        if self._replay_chunks is not None:
+            # The warmup consumed (and recorded) the identical stream;
+            # replay it instead of regenerating every numpy batch.
+            chunks = iter(self._replay_chunks[core_id])
+        else:
+            chunks = self.workload.stream_chunks(
+                core_id, cfg.refs_per_core)
+        core = Core(core_id, mmu, self.hierarchy, None,
                     gap_cycles=self.workload.gap_cycles,
-                    mlp=cfg.core.mlp, issue_cycles=cfg.core.issue_cycles)
+                    mlp=cfg.core.mlp, issue_cycles=cfg.core.issue_cycles,
+                    chunks=chunks)
         self.pwc_sets.append(pwcs)
         self.mmus.append(mmu)
         self.cores.append(core)

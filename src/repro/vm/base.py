@@ -53,6 +53,12 @@ class PageTable(ABC):
     #: Ordered level labels, root first (empty for hash-based tables).
     level_names: Tuple[str, ...] = ()
 
+    #: Monotonic counter every implementation bumps on any structural
+    #: change (map/unmap/resize).  Lets walkers memoize ``walk_stages``
+    #: results — the stages for a page are a pure function of the table
+    #: structure — and invalidate the memo when the structure moves.
+    structure_version: int = 0
+
     @abstractmethod
     def lookup(self, page: int) -> Optional[Translation]:
         """Translate 4 KB-granularity VPN ``page``; None if unmapped."""
@@ -75,6 +81,80 @@ class PageTable(ABC):
         walking).  Outer list = sequential stages; inner list = parallel
         accesses within the stage.
         """
+
+    def walk_plan(self, page: int) -> Tuple[Tuple[Tuple[str, int,
+                                                        Optional[int]],
+                                                  ...], ...]:
+        """Allocation-lean equivalent of :meth:`walk_stages`.
+
+        Returns a tuple of sequential stages, each a tuple of parallel
+        ``(level, pte_paddr, pwc_prefix_or_None)`` triples, where
+        ``pwc_prefix`` is the integer half of ``WalkStage.pwc_key``
+        (each page-table level has its own walk cache, so the level
+        string in the key is redundant).  The default derives the plan
+        from :meth:`walk_stages`; hot tables override it to skip the
+        ``WalkStage`` construction entirely.
+        """
+        return tuple(
+            tuple((step.level, step.pte_paddr,
+                   step.pwc_key[-1] if step.pwc_key is not None else None)
+                  for step in stage)
+            for stage in self.walk_stages(page))
+
+    def walk_info(self, page: int):
+        """``(walk_plan, translation)`` in one descent, or None.
+
+        A walker needs both the PTE access plan and the resulting
+        translation of a walk; resolving them separately costs two
+        table descents.  Returns None when the page is unmapped (the
+        caller faults and retries).  The default composes
+        :meth:`lookup` and :meth:`walk_plan`; hot tables override it to
+        share a single descent.
+        """
+        translation = self.lookup(page)
+        if translation is None:
+            return None
+        return self.walk_plan(page), translation
+
+    def walk_info_decorated(self, page: int, level_info: dict, resolve):
+        """:meth:`walk_info` with the walker's per-level treatment baked
+        into each step.
+
+        ``level_info`` maps a level name to ``(bypass_flag,
+        pwc_probe_or_None)`` and ``resolve(level)`` computes-and-caches
+        a missing entry.  Returns ``(flat, staged, translation)``:
+
+        * when every stage is a single step (radix-family tables) the
+          plan is *flat*: ``flat`` is a tuple of ``(pte_paddr,
+          bypass_flag, pwc_probe, pwc_prefix, level)`` steps — one per
+          sequential stage — and ``staged`` is None;
+        * otherwise (parallel probes, e.g. cuckoo ways) ``flat`` is
+          None and ``staged`` is a tuple of stages, each a tuple of
+          such steps.
+
+        Everything a walker needs per step is resolved once per
+        (page, table version) instead of per walk.  None when the page
+        is unmapped.
+        """
+        info = self.walk_info(page)
+        if info is None:
+            return None
+        raw, translation = info
+        staged = []
+        flat = True
+        for stage in raw:
+            steps = []
+            for level, pte_paddr, key in stage:
+                deco = level_info.get(level)
+                if deco is None:
+                    deco = resolve(level)
+                steps.append((pte_paddr, deco[0], deco[1], key, level))
+            if len(steps) != 1:
+                flat = False
+            staged.append(tuple(steps))
+        if flat:
+            return tuple(stage[0] for stage in staged), None, translation
+        return None, tuple(staged), translation
 
     @abstractmethod
     def occupancy(self) -> Dict[str, float]:

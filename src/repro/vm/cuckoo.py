@@ -37,7 +37,7 @@ def _splitmix64(value: int) -> int:
     return value ^ (value >> 31)
 
 
-@dataclass
+@dataclass(slots=True)
 class CuckooStats:
     """Behavioural counters for the hash table."""
 
@@ -139,6 +139,7 @@ class ElasticCuckooPageTable(PageTable):
         self.stats.inserts += 1
         self._insert(page, Translation(pfn, PAGE_SHIFT))
         self._mapped_pages += 1
+        self.structure_version += 1
         if self.load_factor > self._resize_threshold:
             self._resize()
 
@@ -161,6 +162,7 @@ class ElasticCuckooPageTable(PageTable):
 
     def _resize(self) -> None:
         self.stats.resizes += 1
+        self.structure_version += 1
         entries = [
             entry for way in self._ways for entry in way.slots.values()
         ]
@@ -179,6 +181,7 @@ class ElasticCuckooPageTable(PageTable):
             if entry is not None and entry[0] == page:
                 del way.slots[index]
                 self._mapped_pages -= 1
+                self.structure_version += 1
                 return
         raise MappingError(f"page {page:#x} not mapped")
 
@@ -194,6 +197,23 @@ class ElasticCuckooPageTable(PageTable):
             for i, way in enumerate(self._ways)
         ]
         return [probes]
+
+    def walk_info(self, page: int):
+        """Specialized :meth:`PageTable.walk_info`: the way probes also
+        resolve the translation, so one pass yields both."""
+        translation = None
+        probes = []
+        for i, way in enumerate(self._ways):
+            index = _splitmix64(page ^ way.salt) % way.size
+            probes.append((f"ECH-way{i}",
+                           way.base_paddr + index * ECH_ENTRY_BYTES,
+                           None))
+            entry = way.slots.get(index)
+            if entry is not None and entry[0] == page:
+                translation = entry[1]
+        if translation is None:
+            return None
+        return (tuple(probes),), translation
 
     def occupancy(self) -> Dict[str, float]:
         return {

@@ -27,7 +27,7 @@ from repro.vm.address import (
     ENTRIES_PER_NODE,
     HUGE_PAGE_SHIFT,
     PAGE_SHIFT,
-    vpn,
+    VA_MASK,
 )
 from repro.vm.base import PageTable
 from repro.vm.cuckoo import ElasticCuckooPageTable
@@ -57,7 +57,7 @@ class FaultCosts:
     ech_rehash_cycles_per_entry: int = 36
 
 
-@dataclass
+@dataclass(slots=True)
 class OsStats:
     """Fault/compaction accounting for one run."""
 
@@ -100,40 +100,51 @@ class OSMemoryManager:
         self.stats = OsStats()
         self._fallback_regions: set = set()
         self._lru_frames: Deque[_FrameRecord] = deque()
+        self._is_ech = isinstance(page_table, ElasticCuckooPageTable)
         self._last_rehashed = self._rehashed_entries()
 
     # -- helpers -------------------------------------------------------------
 
     def _rehashed_entries(self) -> int:
-        if isinstance(self.page_table, ElasticCuckooPageTable):
+        if self._is_ech:
             return self.page_table.stats.rehashed_entries
         return 0
 
-    def _charge_rehash(self) -> float:
+    def _charge_rehash(self):
         """Cycles for ECH growth work done since the last fault."""
-        current = self._rehashed_entries()
+        if not self._is_ech:
+            return 0
+        current = self.page_table.stats.rehashed_entries
         delta = current - self._last_rehashed
         self._last_rehashed = current
         return delta * self.costs.ech_rehash_cycles_per_entry
 
     # -- fault handling ----------------------------------------------------------
 
-    def ensure_mapped(self, vaddr: int, site: int = 0) -> float:
-        """Map the page backing ``vaddr`` if needed; return fault cycles.
+    def ensure_translated(self, vaddr: int, site: int = 0):
+        """Resolve ``vaddr``'s translation, faulting it in if needed.
 
-        Returns 0.0 when the page was already mapped (the common case:
-        this runs on every TLB miss, before the walk).
+        Returns ``(translation, fault_cycles)``; ``fault_cycles`` is
+        0.0 when the page was already mapped (the common case: this
+        runs on every TLB miss, before the walk).  Returning the
+        translation spares the MMU a second page-table descent after
+        the walk — the walk itself never changes the mapping.
         """
-        page = vpn(vaddr)
-        if self.page_table.lookup(page) is not None:
-            return 0.0
+        page = (vaddr & VA_MASK) >> PAGE_SHIFT
+        translation = self.page_table.lookup(page)
+        if translation is not None:
+            return translation, 0.0
         if self.policy is PagingPolicy.HUGE and self._supports_huge():
             cycles = self._fault_huge(page, site)
         else:
             cycles = self._fault_small(page, site)
         cycles += self._charge_rehash()
         self.stats.fault_cycles += cycles
-        return cycles
+        return self.page_table.lookup(page), cycles
+
+    def ensure_mapped(self, vaddr: int, site: int = 0) -> float:
+        """Map the page backing ``vaddr`` if needed; return fault cycles."""
+        return self.ensure_translated(vaddr, site)[1]
 
     def _supports_huge(self) -> bool:
         # Only the radix tree stores 2 MB leaves; other mechanisms run

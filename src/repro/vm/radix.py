@@ -90,16 +90,20 @@ class RadixPageTable(PageTable):
     # -- PageTable interface -----------------------------------------------------
 
     def lookup(self, page: int) -> Optional[Translation]:
+        # Unrolled descent with the level_index shifts inlined: this
+        # runs on every TLB miss (fault check + walk refill), so the
+        # loop/call overhead is worth trimming.
+        mask = ENTRIES_PER_NODE - 1
         node = self._root
-        for level in (4, 3, 2):
-            entry = node.entries.get(level_index(page, level))
+        for shift in (3 * LEVEL_BITS, 2 * LEVEL_BITS, LEVEL_BITS):
+            entry = node.entries.get((page >> shift) & mask)
             if entry is None:
                 return None
-            if isinstance(entry, Translation):  # 2 MB leaf at PL2
+            if type(entry) is Translation:  # 2 MB leaf at PL2
                 return entry
             node = entry
-        leaf = node.entries.get(level_index(page, 1))
-        return leaf if isinstance(leaf, Translation) else None
+        leaf = node.entries.get(page & mask)
+        return leaf if type(leaf) is Translation else None
 
     def map_page(self, page: int, pfn: int,
                  page_shift: int = PAGE_SHIFT) -> None:
@@ -111,18 +115,29 @@ class RadixPageTable(PageTable):
             raise MappingError(f"unsupported page_shift {page_shift}")
 
     def _map_small(self, page: int, pfn: int) -> None:
+        # Inlined descent (this runs on every demand-paging fault).
+        mask = ENTRIES_PER_NODE - 1
         node = self._root
-        for level in (4, 3):
-            node = self._child(node, level_index(page, level), create=True)
-        idx2 = level_index(page, 2)
-        if isinstance(node.entries.get(idx2), Translation):
+        for level, shift in ((3, 3 * LEVEL_BITS), (2, 2 * LEVEL_BITS)):
+            index = (page >> shift) & mask
+            child = node.entries.get(index)
+            if child is None:
+                child = self._new_node(level)
+                node.entries[index] = child
+            node = child
+        idx2 = (page >> LEVEL_BITS) & mask
+        entry = node.entries.get(idx2)
+        if type(entry) is Translation:
             raise MappingError(f"page {page:#x} lies inside a 2 MB mapping")
-        node = self._child(node, idx2, create=True)
-        idx1 = level_index(page, 1)
-        if idx1 in node.entries:
+        if entry is None:
+            entry = self._new_node(1)
+            node.entries[idx2] = entry
+        idx1 = page & mask
+        if idx1 in entry.entries:
             raise MappingError(f"page {page:#x} already mapped")
-        node.entries[idx1] = Translation(pfn, PAGE_SHIFT)
+        entry.entries[idx1] = Translation(pfn, PAGE_SHIFT)
         self._mapped_pages += 1
+        self.structure_version += 1
 
     def _map_huge(self, page: int, pfn: int) -> None:
         if page % ENTRIES_PER_NODE != 0:
@@ -139,6 +154,7 @@ class RadixPageTable(PageTable):
             pfn >> (HUGE_PAGE_SHIFT - PAGE_SHIFT), HUGE_PAGE_SHIFT)
         self._mapped_pages += ENTRIES_PER_NODE
         self.huge_mappings += 1
+        self.structure_version += 1
 
     def unmap_page(self, page: int) -> None:
         node = self._root
@@ -152,11 +168,13 @@ class RadixPageTable(PageTable):
             del node.entries[idx2]
             self._mapped_pages -= ENTRIES_PER_NODE
             self.huge_mappings -= 1
+            self.structure_version += 1
             return
         if entry is None or level_index(page, 1) not in entry.entries:
             raise MappingError(f"page {page:#x} not mapped")
         del entry.entries[level_index(page, 1)]
         self._mapped_pages -= 1
+        self.structure_version += 1
 
     def walk_stages(self, page: int) -> List[List[WalkStage]]:
         stages: List[List[WalkStage]] = []
@@ -178,6 +196,102 @@ class RadixPageTable(PageTable):
         stages.append([WalkStage(
             "PL1", node.pte_paddr(index), _pwc_key(1, page))])
         return stages
+
+    def walk_plan(self, page: int):
+        """Specialized :meth:`PageTable.walk_plan`: same stages as
+        :meth:`walk_stages` without building ``WalkStage`` objects —
+        walkers compile a plan per walked page, which makes this a warm
+        path for low-reuse reference streams."""
+        info = self.walk_info(page)
+        if info is None:
+            raise MappingError(f"walk of unmapped page {page:#x}")
+        return info[0]
+
+    def walk_info(self, page: int):
+        """Specialized :meth:`PageTable.walk_info`: plan + translation
+        from a single tree descent."""
+        mask = ENTRIES_PER_NODE - 1
+        node = self._root
+        index = (page >> (3 * LEVEL_BITS)) & mask
+        stage4 = ("PL4", node.base_paddr + index * PTE_SIZE,
+                  page >> (3 * LEVEL_BITS))
+        node = node.entries.get(index)
+        if node is None:
+            return None
+
+        index = (page >> (2 * LEVEL_BITS)) & mask
+        stage3 = ("PL3", node.base_paddr + index * PTE_SIZE,
+                  page >> (2 * LEVEL_BITS))
+        node = node.entries.get(index)
+        if node is None:
+            return None
+
+        index = (page >> LEVEL_BITS) & mask
+        stage2 = ("PL2", node.base_paddr + index * PTE_SIZE,
+                  page >> LEVEL_BITS)
+        entry = node.entries.get(index)
+        if entry is None:
+            return None
+        if type(entry) is Translation:  # 2 MB leaf: 3-stage walk
+            return ((stage4,), (stage3,), (stage2,)), entry
+
+        index = page & mask
+        leaf = entry.entries.get(index)
+        if leaf is None:
+            return None
+        return (((stage4,), (stage3,), (stage2,),
+                 (("PL1", entry.base_paddr + index * PTE_SIZE, page),)),
+                leaf)
+
+    def walk_info_decorated(self, page: int, level_info: dict, resolve):
+        """Specialized :meth:`PageTable.walk_info_decorated`: one
+        descent, flat plan, walker treatment baked in."""
+        info4 = level_info.get("PL4")
+        if info4 is None:
+            info4 = resolve("PL4")
+        info3 = level_info.get("PL3")
+        if info3 is None:
+            info3 = resolve("PL3")
+        info2 = level_info.get("PL2")
+        if info2 is None:
+            info2 = resolve("PL2")
+
+        mask = ENTRIES_PER_NODE - 1
+        node = self._root
+        index = (page >> (3 * LEVEL_BITS)) & mask
+        stage4 = (node.base_paddr + index * PTE_SIZE, info4[0],
+                  info4[1], page >> (3 * LEVEL_BITS), "PL4")
+        node = node.entries.get(index)
+        if node is None:
+            return None
+
+        index = (page >> (2 * LEVEL_BITS)) & mask
+        stage3 = (node.base_paddr + index * PTE_SIZE, info3[0],
+                  info3[1], page >> (2 * LEVEL_BITS), "PL3")
+        node = node.entries.get(index)
+        if node is None:
+            return None
+
+        index = (page >> LEVEL_BITS) & mask
+        stage2 = (node.base_paddr + index * PTE_SIZE, info2[0],
+                  info2[1], page >> LEVEL_BITS, "PL2")
+        entry = node.entries.get(index)
+        if entry is None:
+            return None
+        if type(entry) is Translation:  # 2 MB leaf: 3-stage walk
+            return (stage4, stage3, stage2), None, entry
+
+        index = page & mask
+        leaf = entry.entries.get(index)
+        if leaf is None:
+            return None
+        info1 = level_info.get("PL1")
+        if info1 is None:
+            info1 = resolve("PL1")
+        return ((stage4, stage3, stage2,
+                 (entry.base_paddr + index * PTE_SIZE, info1[0],
+                  info1[1], page, "PL1")),
+                None, leaf)
 
     def occupancy(self) -> Dict[str, float]:
         result = {}

@@ -145,12 +145,16 @@ class Workload(ABC):
         core's stream is a coherent traversal, not a bag of samples.
         """
 
-    def stream(self, core_id: int,
-               num_refs: int) -> Iterator[Tuple[int, bool]]:
-        """Deterministic reference stream for one core.
+    def stream_chunks(self, core_id: int, num_refs: int
+                      ) -> Iterator[Tuple[List[int], List[bool]]]:
+        """Deterministic reference stream, handed over in whole chunks.
 
-        Cores sharing a workload instance traverse the same dataset with
-        different seeds (the paper's multithreaded execution model).
+        Yields ``(addresses, writes)`` pairs of equal-length plain
+        Python lists (one per numpy batch), so the simulator's chunked
+        fast path consumes references without per-item generator
+        resumptions or tuple allocations.  Cores sharing a workload
+        instance traverse the same dataset with different seeds (the
+        paper's multithreaded execution model).
         """
         rng = np.random.default_rng(
             (self.seed * 1_000_003 + core_id) & 0xFFFFFFFF)
@@ -176,9 +180,14 @@ class Workload(ABC):
                 writes = writes.copy()
                 addrs[mask] = private.base + pages * 4096 + offsets
                 writes[mask] = rng.random(count) < 0.5
-            for addr, is_write in zip(addrs.tolist(), writes.tolist()):
-                yield int(addr), bool(is_write)
+            yield addrs.tolist(), np.asarray(writes, dtype=bool).tolist()
             remaining -= batch
+
+    def stream(self, core_id: int,
+               num_refs: int) -> Iterator[Tuple[int, bool]]:
+        """Per-item view of :meth:`stream_chunks` (compatibility API)."""
+        for addrs, writes in self.stream_chunks(core_id, num_refs):
+            yield from zip(addrs, writes)
 
     # -- introspection --------------------------------------------------------------
 

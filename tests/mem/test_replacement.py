@@ -98,3 +98,63 @@ class TestFactory:
     def test_unknown_rejected(self):
         with pytest.raises(ValueError):
             make_policy("belady")
+
+
+class TestEvictionHooks:
+    """on_evict/on_clear keep stateful policies from leaking entries."""
+
+    def test_srrip_victim_state_cleaned_on_evict(self):
+        policy = SrripPolicy()
+        cache_set = filled_set([1, 2])
+        policy.on_insert(cache_set, 1)
+        policy.on_insert(cache_set, 2)
+        victim = policy.victim(cache_set)
+        del cache_set[victim]
+        policy.on_evict(cache_set, victim)
+        assert victim not in policy._rrpv
+
+    def test_srrip_on_clear_empties_state(self):
+        policy = SrripPolicy()
+        cache_set = filled_set([1, 2, 3])
+        for tag in cache_set:
+            policy.on_insert(cache_set, tag)
+        policy.on_clear()
+        assert policy._rrpv == {}
+
+    def test_default_hooks_are_noops(self):
+        policy = LruPolicy()
+        cache_set = filled_set([1])
+        policy.on_evict(cache_set, 1)  # must not raise
+        policy.on_clear()
+
+    def test_cache_invalidate_informs_policy(self):
+        from repro.mem.cache import Cache
+        from repro.mem.request import MemoryRequest
+
+        cache = Cache("srrip", 1024, 2, 1, replacement="srrip")
+        cache.access(MemoryRequest(paddr=0))
+        line = cache.line_addr(0)
+        assert line in cache._policy._rrpv
+        cache.invalidate(0)
+        assert line not in cache._policy._rrpv
+
+    def test_cache_flush_informs_policy(self):
+        from repro.mem.cache import Cache
+        from repro.mem.request import MemoryRequest
+
+        cache = Cache("srrip", 1024, 2, 1, replacement="srrip")
+        for i in range(8):
+            cache.access(MemoryRequest(paddr=i * 64))
+        cache.flush()
+        assert cache._policy._rrpv == {}
+
+    def test_srrip_no_leak_across_fills(self):
+        """Fill-driven evictions must not leave RRPV entries behind —
+        the leak that skewed later victim picks before the hooks."""
+        from repro.mem.cache import Cache
+        from repro.mem.request import MemoryRequest
+
+        cache = Cache("srrip", 1024, 2, 1, replacement="srrip")
+        for i in range(200):
+            cache.access(MemoryRequest(paddr=i * 64))
+        assert len(cache._policy._rrpv) <= cache.resident_lines

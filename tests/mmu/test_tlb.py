@@ -140,3 +140,23 @@ class TestHierarchy:
         tlbs.flush()
         found, _ = tlbs.lookup(1)
         assert found is None
+
+
+class TestReinsertRecency:
+    """Tlb.insert on a resident key must refresh LRU recency, exactly
+    like a lookup hit does."""
+
+    def test_reinsert_moves_key_to_youngest(self):
+        tlb = Tlb("t", entries=2, associativity=2, latency=1)
+        tlb.insert(0, Translation(1, 12))
+        tlb.insert(16, Translation(2, 12))   # same set (num_sets=1)
+        tlb.insert(0, Translation(3, 12))    # reinsert: now youngest
+        tlb.insert(32, Translation(4, 12))   # evicts LRU -> key 16
+        assert tlb.lookup(0) is not None
+        assert tlb.lookup(16) is None
+
+    def test_reinsert_updates_value(self):
+        tlb = Tlb("t", entries=4, associativity=4, latency=1)
+        tlb.insert(5, Translation(1, 12))
+        tlb.insert(5, Translation(9, 12))
+        assert tlb.lookup(5).pfn == 9
