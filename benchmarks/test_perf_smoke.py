@@ -58,7 +58,8 @@ def test_bench_report_shape(tmp_path):
     bench = load_bench_module()
     out = tmp_path / "bench.json"
     rc = bench.main(["--refs", "2000", "--scale", str(1 / 64),
-                     "--out", str(out), "--label", "smoke"])
+                     "--out", str(out), "--label", "smoke",
+                     "--sweep-jobs", "1"])
     assert rc == 0
     import json
     report = json.loads(out.read_text())
@@ -70,3 +71,28 @@ def test_bench_report_shape(tmp_path):
         assert {"name", "workload", "mechanism", "references",
                 "wall_seconds", "refs_per_sec", "cycles"} <= set(row)
     assert report["aggregate"]["refs_per_sec"] > 0
+    sweep = report["sweep"]
+    assert {"jobs", "cells", "references", "wall_seconds",
+            "refs_per_sec"} <= set(sweep)
+    assert sweep["cells"] == (len(bench.SWEEP_WORKLOADS)
+                              * len(bench.SWEEP_MECHANISMS))
+    assert sweep["refs_per_sec"] > 0
+
+
+def test_bench_regression_gate(tmp_path):
+    """--fail-below trips on a too-fast baseline and passes otherwise."""
+    bench = load_bench_module()
+    baseline = tmp_path / "baseline.json"
+    args = ["--refs", "1000", "--scale", str(1 / 64),
+            "--sweep-jobs", "0"]
+    assert bench.main(args + ["--out", str(baseline)]) == 0
+
+    ok = bench.main(args + ["--out", str(tmp_path / "ok.json"),
+                            "--baseline", str(baseline),
+                            "--fail-below", "0.000001"])
+    assert ok == 0
+
+    slow = bench.main(args + ["--out", str(tmp_path / "slow.json"),
+                              "--baseline", str(baseline),
+                              "--fail-below", "1000000"])
+    assert slow == 1

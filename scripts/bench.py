@@ -16,7 +16,16 @@ root) so successive PRs accumulate a performance trajectory::
     PYTHONPATH=src python scripts/bench.py --baseline BENCH_PR1.json
 
 ``--baseline`` compares the current run against a previous JSON and
-prints per-config and aggregate speedups.
+prints per-config and aggregate speedups; adding ``--fail-below R``
+turns the comparison into a regression gate that exits non-zero when
+the aggregate refs/s falls below ``R x`` the baseline (CI runs this
+with ``R = 0.8``).
+
+Alongside the single-run rows the harness times one *parallel sweep*
+(the QUICK workload grid through ``SweepRunner --jobs N``, fresh cache)
+and reports its throughput in a ``sweep`` block — the scale-out number
+that future "more scenarios" PRs move, next to the per-core number
+PR 1 moved.  ``--sweep-jobs 0`` skips it.
 
 JSON format (``BENCH_*.json``)::
 
@@ -54,6 +63,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.sim.config import ndp_config  # noqa: E402
 from repro.sim.runner import run_once  # noqa: E402
+from repro.sim.sweep import SweepRunner, expand_grid  # noqa: E402
 
 #: The benchmark suite: walker-heavy baseline, graph traversal, and the
 #: paper's mechanism.  Single-core on purpose — the per-reference path
@@ -134,6 +144,38 @@ def run_suite(refs: int, scale: float, seed: int = 42,
     }
 
 
+#: The parallel-sweep benchmark grid: the QUICK workload subset under
+#: the paper's baseline and its mechanism, single-core cells.
+SWEEP_WORKLOADS = ("bfs", "xs", "rnd")
+SWEEP_MECHANISMS = ("radix", "ndpage")
+
+
+def run_sweep_bench(refs: int, scale: float, jobs: int,
+                    seed: int = 42, verbose: bool = True) -> dict:
+    """Time one parallel sweep (fresh cache-less run) at ``jobs``."""
+    configs = expand_grid(workloads=SWEEP_WORKLOADS,
+                          mechanisms=SWEEP_MECHANISMS,
+                          refs_per_core=refs, scale=scale, seed=seed)
+    runner = SweepRunner(jobs=jobs)
+    start = time.perf_counter()
+    results = runner.run(configs)
+    wall = time.perf_counter() - start
+    references = sum(r.references for r in results)
+    refs_per_sec = references / wall if wall > 0 else 0.0
+    block = {
+        "jobs": runner.jobs,
+        "cells": len(configs),
+        "references": references,
+        "wall_seconds": round(wall, 4),
+        "refs_per_sec": round(refs_per_sec, 1),
+    }
+    if verbose:
+        print(f"  {'sweep':<12} {references:>9,} refs  "
+              f"{wall:7.2f} s  {refs_per_sec:>12,.0f} refs/s  "
+              f"({len(configs)} cells, {runner.jobs} jobs)")
+    return block
+
+
 def compare(report: dict, baseline: dict) -> None:
     """Print per-config and aggregate speedups against ``baseline``."""
     base_rows = {row["name"]: row for row in baseline.get("results", ())}
@@ -150,6 +192,22 @@ def compare(report: dict, baseline: dict) -> None:
     if base_agg:
         agg = report["aggregate"]["refs_per_sec"] / base_agg
         print(f"  {'aggregate':<12} {agg:5.2f}x")
+    base_sweep = baseline.get("sweep", {}).get("refs_per_sec")
+    if base_sweep and report.get("sweep"):
+        ratio = report["sweep"]["refs_per_sec"] / base_sweep
+        print(f"  {'sweep':<12} {ratio:5.2f}x")
+
+
+def aggregate_ratio(report: dict, baseline: dict) -> float | None:
+    """Current aggregate refs/s over the baseline's.
+
+    ``None`` when the baseline has no usable aggregate — the gate must
+    report a bad baseline file, not a phantom 100% regression.
+    """
+    base = baseline.get("aggregate", {}).get("refs_per_sec") or 0.0
+    if not base:
+        return None
+    return report["aggregate"]["refs_per_sec"] / base
 
 
 def main(argv=None) -> int:
@@ -169,7 +227,16 @@ def main(argv=None) -> int:
     parser.add_argument("--baseline", default=None,
                         help="previous BENCH_*.json to compare against "
                              "and embed in the report")
+    parser.add_argument("--fail-below", type=float, default=None,
+                        metavar="RATIO",
+                        help="with --baseline: exit 1 if aggregate "
+                             "refs/s < RATIO x baseline (CI gate)")
+    parser.add_argument("--sweep-jobs", type=int, default=None,
+                        help="workers for the parallel sweep bench "
+                             "(default: min(4, cpu_count); 0 skips)")
     args = parser.parse_args(argv)
+    if args.fail_below is not None and not args.baseline:
+        parser.error("--fail-below requires --baseline")
 
     print(f"bench: {len(SUITE)} configs, {args.refs:,} refs/core, "
           f"scale {args.scale}, best of {max(1, args.repeats)}")
@@ -182,15 +249,38 @@ def main(argv=None) -> int:
           f"{agg['total_wall_seconds']:7.2f} s  "
           f"{agg['refs_per_sec']:>12,.0f} refs/s")
 
+    sweep_jobs = args.sweep_jobs
+    if sweep_jobs is None:
+        import os
+        sweep_jobs = min(4, os.cpu_count() or 1)
+    if sweep_jobs > 0:
+        report["sweep"] = run_sweep_bench(
+            max(1, args.refs // 4), args.scale, sweep_jobs, args.seed)
+
+    failed = False
     if args.baseline:
         baseline = json.loads(Path(args.baseline).read_text())
         report["baseline"] = baseline
         compare(report, baseline)
+        if args.fail_below is not None:
+            ratio = aggregate_ratio(report, baseline)
+            floor = args.fail_below
+            if ratio is None:
+                print(f"\nFAIL: baseline {args.baseline} has no "
+                      f"aggregate refs/s to gate against")
+                failed = True
+            elif ratio < floor:
+                print(f"\nFAIL: aggregate throughput is {ratio:.2f}x "
+                      f"the baseline (floor {floor:.2f}x)")
+                failed = True
+            else:
+                print(f"\nregression gate: {ratio:.2f}x baseline "
+                      f">= {floor:.2f}x floor — ok")
 
     out_path = Path(args.out)
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"\nwrote {out_path}")
-    return 0
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

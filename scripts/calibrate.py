@@ -1,6 +1,7 @@
 """Calibration sweep: per-workload mechanism comparison + motivation stats."""
-import sys, time
-from repro import ndp_config, cpu_config, run_once
+import sys
+import time
+from repro import ndp_config, run_once
 from repro.workloads import ALL_WORKLOADS
 
 cores = int(sys.argv[1]) if len(sys.argv) > 1 else 1
@@ -18,11 +19,14 @@ for wl in ALL_WORKLOADS:
                                 refs_per_core=refs))
         if m == 'radix':
             base = r
-            extra = (f" ptw={r.ptw_latency_mean:6.1f} tlbm={r.tlb_miss_rate:.2f}"
-                     f" tf={r.translation_fraction:.2f} l1m={r.l1_metadata_miss_rate:.2f}"
+            extra = (f" ptw={r.ptw_latency_mean:6.1f}"
+                     f" tlbm={r.tlb_miss_rate:.2f}"
+                     f" tf={r.translation_fraction:.2f}"
+                     f" l1m={r.l1_metadata_miss_rate:.2f}"
                      f" l1d={r.l1_data_miss_rate:.2f}")
         sp = base.cycles / r.cycles
         avg[m].append(sp)
         row.append(f"{m[:4]}={sp:5.2f}")
     print(f"{wl:5s} {' '.join(row)}{extra}")
-print("AVG  " + " ".join(f"{m[:4]}={sum(v)/len(v):5.2f}" for m, v in avg.items()))
+print("AVG  " + " ".join(f"{m[:4]}={sum(v)/len(v):5.2f}"
+                         for m, v in avg.items()))

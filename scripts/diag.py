@@ -12,8 +12,13 @@ for wl in ['bfs', 'pr', 'xs', 'rnd']:
         if m == 'radix':
             base = r
         dram = sum(r.dram_accesses_by_kind.values())
-        print(f"{wl:4s} {m:9s} sp={base.cycles/r.cycles:5.2f} ptw={r.ptw_latency_mean:6.1f} "
-              f"qd={r.dram_queue_delay_mean:6.1f} pte_acc={r.pte_memory_accesses:6d} "
-              f"dram={dram:7d} meta_dram={r.dram_accesses_by_kind.get('metadata',0):6d} "
-              f"cyc/ref={r.cycles*cores/max(1,r.references):6.1f} tf={r.translation_fraction:.2f}")
+        meta_dram = r.dram_accesses_by_kind.get('metadata', 0)
+        cyc_per_ref = r.cycles * cores / max(1, r.references)
+        print(f"{wl:4s} {m:9s} sp={base.cycles/r.cycles:5.2f} "
+              f"ptw={r.ptw_latency_mean:6.1f} "
+              f"qd={r.dram_queue_delay_mean:6.1f} "
+              f"pte_acc={r.pte_memory_accesses:6d} "
+              f"dram={dram:7d} meta_dram={meta_dram:6d} "
+              f"cyc/ref={cyc_per_ref:6.1f} "
+              f"tf={r.translation_fraction:.2f}")
     print()

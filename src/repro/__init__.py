@@ -24,12 +24,15 @@ from repro.core import (
 )
 from repro.sim import (
     RunResult,
+    SweepRunner,
     System,
     SystemConfig,
     cpu_config,
+    expand_grid,
     ndp_config,
     run_mechanisms,
     run_once,
+    run_sweep,
 )
 from repro.vm import (
     ElasticCuckooPageTable,
@@ -58,14 +61,17 @@ __all__ = [
     "PagingPolicy",
     "RadixPageTable",
     "RunResult",
+    "SweepRunner",
     "System",
     "SystemConfig",
     "cpu_config",
+    "expand_grid",
     "get_mechanism",
     "make_workload",
     "ndp_config",
     "occupancy_report",
     "run_mechanisms",
     "run_once",
+    "run_sweep",
     "workload_table",
 ]

@@ -1,5 +1,6 @@
-"""Result analysis: metrics, table formatting, paper experiments."""
+"""Result analysis: metrics, tables, result cache, paper experiments."""
 
+from repro.analysis.cache import CODE_VERSION, ResultCache, config_key
 from repro.analysis.metrics import (
     average_speedups,
     mean,
@@ -9,7 +10,10 @@ from repro.analysis.tables import format_table
 from repro.analysis import experiments
 
 __all__ = [
+    "CODE_VERSION",
+    "ResultCache",
     "average_speedups",
+    "config_key",
     "experiments",
     "format_table",
     "mean",

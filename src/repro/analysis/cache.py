@@ -1,0 +1,166 @@
+"""On-disk result cache: resumable sweeps, incremental figures.
+
+Every cell of a figure sweep is a pure function of its
+:class:`~repro.sim.config.SystemConfig` (the simulator is fully
+deterministic across processes), so finished :class:`RunResult`\\ s can
+be memoized on disk and reused across invocations.  The cache key is a
+SHA-256 of the config's canonical JSON plus a *code version tag*
+(:data:`CODE_VERSION`): bumping the tag invalidates every cached result
+at once, which is the required move whenever a change alters simulated
+statistics (the golden-stats tests catch such changes; hot-path-only
+refactors keep the tag).
+
+Entries are one JSON file per key, written atomically (temp file +
+``os.replace``), so an interrupted sweep leaves a valid cache holding
+exactly the cells that finished — re-running the sweep simulates only
+the missing ones.  JSON round-trips Python floats exactly (repr-based),
+so cached results are bit-identical to freshly simulated ones; the
+tests assert this field by field.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.sim.config import SystemConfig
+from repro.sim.runner import RunResult
+
+#: Code-relevant version of the simulation.  Bump whenever a change
+#: perturbs simulated statistics (i.e. whenever the golden values in
+#: tests/sim/test_golden_stats.py move); cached results from older
+#: tags are then ignored.  Pure speedups keep the tag.
+CODE_VERSION = "sim-v2"
+
+#: On-disk format version of the cache entries themselves.
+_ENTRY_FORMAT = 1
+
+
+def result_to_dict(result: RunResult) -> Dict[str, Any]:
+    """Plain-data form of a RunResult (config nested as a dict)."""
+    data = dataclasses.asdict(result)
+    data["config"] = result.config.to_dict()
+    return data
+
+
+def result_from_dict(data: Dict[str, Any]) -> RunResult:
+    """Inverse of :func:`result_to_dict`, exact to the bit."""
+    fields = dict(data)
+    fields["config"] = SystemConfig.from_dict(fields["config"])
+    return RunResult(**fields)
+
+
+def config_key(config: SystemConfig,
+               code_version: str = CODE_VERSION) -> str:
+    """Stable hex digest identifying (config, simulation code)."""
+    payload = config.canonical_json() + "\n" + code_version
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:40]
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Counters for one cache's lifetime in this process."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ResultCache:
+    """Directory of memoized RunResults keyed by config hash.
+
+    >>> cache = ResultCache(".sweep-cache")
+    >>> cached = cache.load(config)          # None on miss
+    >>> cache.store(config, run_once(config))
+    """
+
+    def __init__(self, root, code_version: str = CODE_VERSION):
+        self.root = Path(root)
+        self.code_version = code_version
+        self.stats = CacheStats()
+
+    def key(self, config: SystemConfig) -> str:
+        return config_key(config, self.code_version)
+
+    def path(self, config: SystemConfig) -> Path:
+        return self.root / f"{self.key(config)}.json"
+
+    def load(self, config: SystemConfig,
+             key: Optional[str] = None) -> Optional[RunResult]:
+        """Return the cached result for ``config`` or None.
+
+        Any unreadable entry — truncated JSON, or a payload whose
+        fields no longer match the current RunResult/SystemConfig
+        shape (written before a field was added/renamed) — degrades to
+        a miss: the cell is re-simulated and the entry overwritten.
+
+        ``key`` skips re-hashing when the caller (the sweep runner)
+        already computed this config's key.
+        """
+        path = self.root / f"{key}.json" if key else self.path(config)
+        try:
+            entry = json.loads(path.read_text())
+            if (entry.get("format") != _ENTRY_FORMAT
+                    or entry.get("code_version") != self.code_version):
+                raise KeyError("stale entry")
+            result = result_from_dict(entry["result"])
+        except (FileNotFoundError, json.JSONDecodeError, KeyError,
+                TypeError, ValueError, AttributeError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def store(self, config: SystemConfig, result: RunResult,
+              key: Optional[str] = None) -> Path:
+        """Atomically persist ``result`` under ``config``'s key.
+
+        The entry holds only what :meth:`load` reads; the config
+        itself travels inside the result (``result.config``).
+        """
+        path = self.root / f"{key}.json" if key else self.path(config)
+        entry = {
+            "format": _ENTRY_FORMAT,
+            "code_version": self.code_version,
+            "result": result_to_dict(result),
+        }
+        # Created on first write, not in __init__, so a cache that is
+        # only ever consulted leaves no empty directory behind.
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(entry) + "\n")
+        os.replace(tmp, path)
+        self.stats.stores += 1
+        return path
+
+    def __contains__(self, config: SystemConfig) -> bool:
+        return self.path(config).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed.
+
+        Also sweeps up ``*.tmp.*`` orphans a mid-write kill may have
+        left behind (they are not counted — they were never entries).
+        """
+        removed = 0
+        for path in self.root.glob("*.json"):
+            path.unlink()
+            removed += 1
+        for path in self.root.glob("*.tmp.*"):
+            path.unlink()
+        return removed

@@ -1,16 +1,21 @@
 """High-level experiment drivers: one function per paper table/figure.
 
-Each function runs the simulations a figure needs and returns plain
-data (dicts keyed by workload/mechanism); the benchmark harness prints
-the rows and EXPERIMENTS.md records paper-vs-measured.  All drivers
-accept ``workloads``, ``refs_per_core``, ``scale`` and ``seed`` so tests
-can shrink them and the benches can run them at full sweep size.
+Each function *declares* the config grid a figure needs, hands the grid
+to a :class:`~repro.sim.sweep.SweepRunner`, and assembles the returned
+results into plain data (dicts keyed by workload/mechanism); the
+benchmark harness prints the rows and EXPERIMENTS.md records
+paper-vs-measured.  All drivers accept ``workloads``, ``refs_per_core``,
+``scale`` and ``seed`` so tests can shrink them and the benches can run
+them at full sweep size, plus ``runner`` to parallelize and cache the
+sweep (``python -m repro figure fig12 --jobs 4 --cache-dir DIR``).
+Results are bit-identical whatever the runner: cells are independent
+and the simulator is deterministic across processes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import average_speedups, mean, speedup_table
 from repro.core.mechanisms import PAPER_MECHANISMS
@@ -20,7 +25,8 @@ from repro.sim.config import (
     cpu_config,
     ndp_config,
 )
-from repro.sim.runner import RunResult, run_once
+from repro.sim.runner import RunResult
+from repro.sim.sweep import SweepRunner
 from repro.vm.occupancy import occupancy_report
 from repro.workloads.registry import ALL_WORKLOADS, make_workload
 
@@ -35,26 +41,35 @@ def _config(system: str, workload: str, mechanism: str, num_cores: int,
                    scale=scale, seed=seed)
 
 
+def _sweep(configs: Sequence[SystemConfig],
+           runner: Optional[SweepRunner]) -> List[RunResult]:
+    """Run a declared grid; serial in-process when no runner is given."""
+    return (runner or SweepRunner(jobs=1)).run(configs)
+
+
 # -- Motivation: Figs. 4-6 ----------------------------------------------------
 
 def ptw_latency_comparison(workloads: Sequence[str] = ALL_WORKLOADS,
                            num_cores: int = 4,
                            refs_per_core: int = DEFAULT_REFS,
                            scale: float = DEFAULT_SCALE,
-                           seed: int = 42) -> Dict[str, Dict[str, float]]:
+                           seed: int = 42,
+                           runner: Optional[SweepRunner] = None
+                           ) -> Dict[str, Dict[str, float]]:
     """Fig. 4: average radix PTW latency, NDP vs CPU, per workload."""
+    grid = [(workload, system)
+            for workload in workloads for system in ("ndp", "cpu")]
+    results = _sweep([_config(system, workload, "radix", num_cores,
+                              refs_per_core, scale, seed)
+                      for workload, system in grid], runner)
     table: Dict[str, Dict[str, float]] = {}
-    for workload in workloads:
-        row = {}
-        for system in ("ndp", "cpu"):
-            result = run_once(_config(system, workload, "radix",
-                                      num_cores, refs_per_core, scale,
-                                      seed))
-            row[system] = result.ptw_latency_mean
-            row[f"{system}_max"] = result.ptw_latency_max
+    for (workload, system), result in zip(grid, results):
+        row = table.setdefault(workload, {})
+        row[system] = result.ptw_latency_mean
+        row[f"{system}_max"] = result.ptw_latency_max
+    for row in table.values():
         row["increase"] = (row["ndp"] / row["cpu"] - 1.0
                            if row["cpu"] else 0.0)
-        table[workload] = row
     return table
 
 
@@ -63,17 +78,19 @@ def translation_overhead_comparison(
         num_cores: int = 4,
         refs_per_core: int = DEFAULT_REFS,
         scale: float = DEFAULT_SCALE,
-        seed: int = 42) -> Dict[str, Dict[str, float]]:
+        seed: int = 42,
+        runner: Optional[SweepRunner] = None
+        ) -> Dict[str, Dict[str, float]]:
     """Fig. 5: fraction of runtime spent translating, NDP vs CPU."""
+    grid = [(workload, system)
+            for workload in workloads for system in ("ndp", "cpu")]
+    results = _sweep([_config(system, workload, "radix", num_cores,
+                              refs_per_core, scale, seed)
+                      for workload, system in grid], runner)
     table: Dict[str, Dict[str, float]] = {}
-    for workload in workloads:
-        row = {}
-        for system in ("ndp", "cpu"):
-            result = run_once(_config(system, workload, "radix",
-                                      num_cores, refs_per_core, scale,
-                                      seed))
-            row[system] = result.translation_fraction
-        table[workload] = row
+    for (workload, system), result in zip(grid, results):
+        table.setdefault(workload, {})[system] = \
+            result.translation_fraction
     return table
 
 
@@ -81,28 +98,36 @@ def core_scaling(workloads: Sequence[str] = ALL_WORKLOADS,
                  core_counts: Sequence[int] = (1, 4, 8),
                  refs_per_core: int = DEFAULT_REFS,
                  scale: float = DEFAULT_SCALE,
-                 seed: int = 42) -> Dict[str, Dict[int, Dict[str, float]]]:
+                 seed: int = 42,
+                 runner: Optional[SweepRunner] = None
+                 ) -> Dict[str, Dict[int, Dict[str, float]]]:
     """Fig. 6: mean PTW latency and overhead fraction vs core count."""
+    grid = [(system, cores, workload)
+            for system in ("ndp", "cpu")
+            for cores in core_counts
+            for workload in workloads]
+    results = _sweep([_config(system, workload, "radix", cores,
+                              refs_per_core, scale, seed)
+                      for system, cores, workload in grid], runner)
+    latencies: Dict[Tuple[str, int], List[float]] = {}
+    overheads: Dict[Tuple[str, int], List[float]] = {}
+    for (system, cores, _workload), result in zip(grid, results):
+        latencies.setdefault((system, cores), []).append(
+            result.ptw_latency_mean)
+        overheads.setdefault((system, cores), []).append(
+            result.translation_fraction)
     out: Dict[str, Dict[int, Dict[str, float]]] = {
         "ndp": {}, "cpu": {}}
     for system in ("ndp", "cpu"):
         for cores in core_counts:
-            latencies = []
-            overheads = []
-            for workload in workloads:
-                result = run_once(_config(system, workload, "radix",
-                                          cores, refs_per_core, scale,
-                                          seed))
-                latencies.append(result.ptw_latency_mean)
-                overheads.append(result.translation_fraction)
             out[system][cores] = {
-                "ptw_latency": mean(latencies),
-                "overhead": mean(overheads),
+                "ptw_latency": mean(latencies[(system, cores)]),
+                "overhead": mean(overheads[(system, cores)]),
             }
     return out
 
 
-# -- Key observations: Figs. 7, 8 and Section IV-A scalars ----------------------
+# -- Key observations: Figs. 7, 8 and Section IV-A scalars --------------------
 
 @dataclass
 class MissRateRow:
@@ -120,14 +145,21 @@ def l1_miss_breakdown(workloads: Sequence[str] = ALL_WORKLOADS,
                       num_cores: int = 4,
                       refs_per_core: int = DEFAULT_REFS,
                       scale: float = DEFAULT_SCALE,
-                      seed: int = 42) -> Dict[str, MissRateRow]:
+                      seed: int = 42,
+                      runner: Optional[SweepRunner] = None
+                      ) -> Dict[str, MissRateRow]:
     """Fig. 7 plus the Section IV-A scalar claims."""
+    grid = [(workload, mechanism)
+            for workload in workloads
+            for mechanism in ("radix", "ideal")]
+    results = _sweep([_config("ndp", workload, mechanism, num_cores,
+                              refs_per_core, scale, seed)
+                      for workload, mechanism in grid], runner)
+    by_cell = {cell: result for cell, result in zip(grid, results)}
     table = {}
     for workload in workloads:
-        actual = run_once(_config("ndp", workload, "radix", num_cores,
-                                  refs_per_core, scale, seed))
-        ideal = run_once(_config("ndp", workload, "ideal", num_cores,
-                                 refs_per_core, scale, seed))
+        actual = by_cell[(workload, "radix")]
+        ideal = by_cell[(workload, "ideal")]
         table[workload] = MissRateRow(
             data_ideal=ideal.l1_data_miss_rate,
             data_actual=actual.l1_data_miss_rate,
@@ -142,12 +174,14 @@ def l1_miss_breakdown(workloads: Sequence[str] = ALL_WORKLOADS,
 def pte_dram_amplification(workload: str = "rnd", num_cores: int = 4,
                            refs_per_core: int = DEFAULT_REFS,
                            scale: float = DEFAULT_SCALE,
-                           seed: int = 42) -> float:
+                           seed: int = 42,
+                           runner: Optional[SweepRunner] = None
+                           ) -> float:
     """Section IV-A: NDP-vs-CPU ratio of PTE accesses reaching DRAM."""
-    ndp = run_once(_config("ndp", workload, "radix", num_cores,
-                           refs_per_core, scale, seed))
-    cpu = run_once(_config("cpu", workload, "radix", num_cores,
-                           refs_per_core, scale, seed))
+    ndp, cpu = _sweep(
+        [_config(system, workload, "radix", num_cores, refs_per_core,
+                 scale, seed)
+         for system in ("ndp", "cpu")], runner)
     cpu_pte = max(1, cpu.dram_accesses_by_kind.get("metadata", 0))
     return ndp.dram_accesses_by_kind.get("metadata", 0) / cpu_pte
 
@@ -172,20 +206,23 @@ def pwc_hit_rates(workloads: Sequence[str] = ALL_WORKLOADS,
                   num_cores: int = 4, mechanism: str = "radix",
                   refs_per_core: int = DEFAULT_REFS,
                   scale: float = DEFAULT_SCALE,
-                  seed: int = 42) -> Dict[str, float]:
+                  seed: int = 42,
+                  runner: Optional[SweepRunner] = None
+                  ) -> Dict[str, float]:
     """Section V-C: PWC hit rate per level, averaged over workloads."""
+    results = _sweep([_config("ndp", workload, mechanism, num_cores,
+                              refs_per_core, scale, seed)
+                      for workload in workloads], runner)
     sums: Dict[str, float] = {}
     counts: Dict[str, int] = {}
-    for workload in workloads:
-        result = run_once(_config("ndp", workload, mechanism, num_cores,
-                                  refs_per_core, scale, seed))
+    for result in results:
         for level, rate in result.pwc_hit_rates.items():
             sums[level] = sums.get(level, 0.0) + rate
             counts[level] = counts.get(level, 0) + 1
     return {level: sums[level] / counts[level] for level in sums}
 
 
-# -- Main results: Figs. 12-14 -----------------------------------------------------
+# -- Main results: Figs. 12-14 ------------------------------------------------
 
 def speedup_experiment(num_cores: int,
                        workloads: Sequence[str] = ALL_WORKLOADS,
@@ -193,7 +230,8 @@ def speedup_experiment(num_cores: int,
                        system: str = "ndp",
                        refs_per_core: int = DEFAULT_REFS,
                        scale: float = DEFAULT_SCALE,
-                       seed: int = 42
+                       seed: int = 42,
+                       runner: Optional[SweepRunner] = None
                        ) -> Tuple[Dict[str, Dict[str, float]],
                                   Dict[str, float],
                                   Dict[str, Dict[str, RunResult]]]:
@@ -201,13 +239,14 @@ def speedup_experiment(num_cores: int,
 
     Returns (speedup table, across-workload averages, raw results).
     """
+    grid = [(workload, mechanism)
+            for workload in workloads for mechanism in mechanisms]
+    results = _sweep([_config(system, workload, mechanism, num_cores,
+                              refs_per_core, scale, seed)
+                      for workload, mechanism in grid], runner)
     raw: Dict[str, Dict[str, RunResult]] = {}
-    for workload in workloads:
-        raw[workload] = {}
-        for mechanism in mechanisms:
-            raw[workload][mechanism] = run_once(
-                _config(system, workload, mechanism, num_cores,
-                        refs_per_core, scale, seed))
+    for (workload, mechanism), result in zip(grid, results):
+        raw.setdefault(workload, {})[mechanism] = result
     table = speedup_table(raw, baseline="radix")
     return table, average_speedups(table), raw
 
@@ -216,12 +255,15 @@ def ablation_experiment(num_cores: int = 4,
                         workloads: Sequence[str] = ("bfs", "xs", "rnd"),
                         refs_per_core: int = DEFAULT_REFS,
                         scale: float = DEFAULT_SCALE,
-                        seed: int = 42) -> Dict[str, Dict[str, float]]:
+                        seed: int = 42,
+                        runner: Optional[SweepRunner] = None
+                        ) -> Dict[str, Dict[str, float]]:
     """Decompose NDPage: bypass-only vs flatten-only vs both vs no-PWC,
     plus the counterfactual upper-level (PL3/PL2) flattening."""
     mechanisms = ("radix", "ndpage-bypass-only", "ndpage-flatten-only",
                   "ndpage-nopwc", "ndpage-flatten-upper", "ndpage")
     table, _, _ = speedup_experiment(
         num_cores, workloads=workloads, mechanisms=mechanisms,
-        refs_per_core=refs_per_core, scale=scale, seed=seed)
+        refs_per_core=refs_per_core, scale=scale, seed=seed,
+        runner=runner)
     return table

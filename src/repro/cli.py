@@ -6,6 +6,18 @@ Examples::
     python -m repro compare --workload bfs --cores 8
     python -m repro figure fig12 --refs 4000
     python -m repro workloads
+
+Sweeps fan independent cells out over worker processes and memoize
+finished cells on disk, so figures parallelize and resume::
+
+    # Fig. 12 on 4 workers, cached — re-running after an interrupt
+    # (or with one new mechanism) simulates only the missing cells.
+    python -m repro figure fig12 --jobs 4 --cache-dir .sweep-cache
+
+    # Ad-hoc grid: workloads x mechanisms x systems x core counts.
+    python -m repro sweep --workloads bfs xs rnd \\
+        --mechanisms radix ndpage --cores 1 4 --jobs 4 \\
+        --cache-dir .sweep-cache
 """
 
 from __future__ import annotations
@@ -14,11 +26,12 @@ import argparse
 import sys
 
 from repro.analysis import experiments
-from repro.analysis.metrics import mean
+from repro.analysis.cache import ResultCache
 from repro.analysis.tables import format_mapping_table, format_table
 from repro.core.mechanisms import MECHANISMS, PAPER_MECHANISMS
 from repro.sim.config import cpu_config, ndp_config
 from repro.sim.runner import run_mechanisms, run_once
+from repro.sim.sweep import SweepRunner, expand_grid
 from repro.workloads.registry import ALL_WORKLOADS, workload_table
 
 FIGURES = ("fig4", "fig5", "fig6", "fig7", "fig8", "fig10",
@@ -41,6 +54,21 @@ def _add_common(parser):
     parser.add_argument("--system", default="ndp",
                         choices=("ndp", "cpu"))
     parser.add_argument("--seed", type=int, default=42)
+
+
+def _add_sweep_opts(parser):
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the sweep "
+                             "(default 1: serial in-process)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="directory for the on-disk result cache; "
+                             "makes the sweep resumable")
+
+
+def _runner_from(args) -> SweepRunner:
+    cache = (ResultCache(args.cache_dir)
+             if args.cache_dir is not None else None)
+    return SweepRunner(jobs=args.jobs, cache=cache)
 
 
 def cmd_run(args) -> int:
@@ -74,19 +102,22 @@ def cmd_compare(args) -> int:
 
 def cmd_figure(args) -> int:
     refs = args.refs
+    runner = _runner_from(args)
     if args.figure == "fig4":
-        table = experiments.ptw_latency_comparison(refs_per_core=refs)
+        table = experiments.ptw_latency_comparison(refs_per_core=refs,
+                                                   runner=runner)
         print(format_mapping_table(table, ["ndp", "cpu", "increase"],
                                    row_label="workload",
                                    title="Fig. 4"))
     elif args.figure == "fig5":
         table = experiments.translation_overhead_comparison(
-            refs_per_core=refs)
+            refs_per_core=refs, runner=runner)
         print(format_mapping_table(table, ["ndp", "cpu"],
                                    row_label="workload",
                                    title="Fig. 5"))
     elif args.figure == "fig6":
-        out = experiments.core_scaling(refs_per_core=refs)
+        out = experiments.core_scaling(refs_per_core=refs,
+                                       runner=runner)
         rows = [
             [cores, out["ndp"][cores]["ptw_latency"],
              out["cpu"][cores]["ptw_latency"],
@@ -98,7 +129,8 @@ def cmd_figure(args) -> int:
             ["cores", "NDP PTW", "CPU PTW", "NDP ovh", "CPU ovh"],
             rows, title="Fig. 6"))
     elif args.figure == "fig7":
-        table = experiments.l1_miss_breakdown(refs_per_core=refs)
+        table = experiments.l1_miss_breakdown(refs_per_core=refs,
+                                              runner=runner)
         rows = [
             [wl, r.data_ideal, r.data_actual, r.metadata]
             for wl, r in table.items()
@@ -107,22 +139,48 @@ def cmd_figure(args) -> int:
             ["workload", "data(ideal)", "data(actual)", "metadata"],
             rows, title="Fig. 7"))
     elif args.figure == "fig8":
+        if args.jobs != 1 or args.cache_dir is not None:
+            print("note: fig8 is computed analytically; "
+                  "--jobs/--cache-dir have no effect")
         table = experiments.occupancy_study()
         print(format_mapping_table(
             table, ["PL1", "PL2", "PL3", "PL4", "PL2/1"],
             row_label="workload", title="Fig. 8"))
     elif args.figure == "fig10":
-        rates = experiments.pwc_hit_rates(refs_per_core=refs)
+        rates = experiments.pwc_hit_rates(refs_per_core=refs,
+                                          runner=runner)
         print(format_table(["level", "hit rate"],
                            sorted(rates.items()), title="Fig. 10"))
     else:  # fig12 / fig13 / fig14
         cores = {"fig12": 1, "fig13": 4, "fig14": 8}[args.figure]
         table, averages, _ = experiments.speedup_experiment(
-            cores, refs_per_core=refs)
+            cores, refs_per_core=refs, runner=runner)
         table["AVG"] = averages
         print(format_mapping_table(
             table, list(PAPER_MECHANISMS), row_label="workload",
             title=f"{args.figure} ({cores}-core speedups over Radix)"))
+    if runner.last_stats.cells:
+        print(f"sweep: {runner.last_stats.summary()}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    configs = expand_grid(
+        workloads=args.workloads, mechanisms=args.mechanisms,
+        systems=args.systems, core_counts=args.cores,
+        refs_per_core=args.refs, scale=args.scale, seed=args.seed)
+    runner = _runner_from(args)
+    results = runner.run(configs)
+    rows = [
+        [c.workload, c.mechanism, c.system, c.num_cores,
+         r.cycles, r.ipc, r.ptw_latency_mean]
+        for c, r in zip(configs, results)
+    ]
+    print(format_table(
+        ["workload", "mechanism", "system", "cores", "cycles", "ipc",
+         "PTW (cy)"],
+        rows, title=f"sweep ({len(configs)} cells)"))
+    print(f"sweep: {runner.last_stats.summary()}")
     return 0
 
 
@@ -159,7 +217,26 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p = sub.add_parser("figure", help="regenerate a paper figure")
     fig_p.add_argument("figure", choices=FIGURES)
     fig_p.add_argument("--refs", type=int, default=3000)
+    _add_sweep_opts(fig_p)
     fig_p.set_defaults(func=cmd_figure)
+
+    sweep_p = sub.add_parser(
+        "sweep", help="run a config grid through the sweep runner")
+    sweep_p.add_argument("--workloads", nargs="+",
+                         choices=ALL_WORKLOADS,
+                         default=["bfs", "xs", "rnd"])
+    sweep_p.add_argument("--mechanisms", nargs="+",
+                         choices=sorted(MECHANISMS),
+                         default=list(PAPER_MECHANISMS))
+    sweep_p.add_argument("--systems", nargs="+",
+                         choices=("ndp", "cpu"), default=["ndp"])
+    sweep_p.add_argument("--cores", type=int, nargs="+", default=[4])
+    sweep_p.add_argument("--refs", type=int, default=5000,
+                         help="memory references per core")
+    sweep_p.add_argument("--scale", type=float, default=1.0)
+    sweep_p.add_argument("--seed", type=int, default=42)
+    _add_sweep_opts(sweep_p)
+    sweep_p.set_defaults(func=cmd_sweep)
 
     wl_p = sub.add_parser("workloads", help="list Table II workloads")
     wl_p.set_defaults(func=cmd_workloads)

@@ -25,7 +25,6 @@ from repro.vm.address import (
     PAGE_SIZE,
     PTE_SIZE,
     flat_index,
-    flat_tag,
     level_index,
 )
 from repro.vm.base import MappingError, PageTable, Translation, WalkStage
@@ -102,7 +101,7 @@ class FlattenedPageTable(PageTable):
             child.entries[idx3] = flat
         return flat
 
-    # -- PageTable interface -----------------------------------------------------
+    # -- PageTable interface --------------------------------------------------
 
     def lookup(self, page: int) -> Optional[Translation]:
         # Inlined descent (this runs on every TLB miss).

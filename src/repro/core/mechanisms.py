@@ -20,7 +20,7 @@ contributions can be measured (DESIGN.md "ablations"):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Tuple
+from typing import Callable, Tuple
 
 from repro.core.bypass import BypassPolicy, MetadataBypass, NoBypass
 from repro.core.flattened import FlattenedPageTable

@@ -15,6 +15,12 @@ from repro.sim.config import (
 from repro.sim.core_model import Core, CoreStats
 from repro.sim.engine import SimulationEngine
 from repro.sim.runner import RunResult, run_mechanisms, run_once
+from repro.sim.sweep import (
+    SweepRunner,
+    SweepStats,
+    expand_grid,
+    run_sweep,
+)
 from repro.sim.system import System
 
 __all__ = [
@@ -28,11 +34,15 @@ __all__ = [
     "SYSTEM_CPU",
     "SYSTEM_NDP",
     "SimulationEngine",
+    "SweepRunner",
+    "SweepStats",
     "System",
     "SystemConfig",
     "TlbParams",
     "cpu_config",
+    "expand_grid",
     "ndp_config",
     "run_mechanisms",
     "run_once",
+    "run_sweep",
 ]

@@ -14,8 +14,11 @@ DESIGN.md, "Timing model substitution").
 
 from __future__ import annotations
 
+import dataclasses
+import json
+import typing
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from repro.core.mechanisms import get_mechanism
 from repro.vm.os_model import FaultCosts
@@ -145,6 +148,59 @@ class SystemConfig:
 
     def with_workload(self, workload: str) -> "SystemConfig":
         return replace(self, workload=workload)
+
+    # -- canonical serialization ------------------------------------
+    #
+    # The sweep orchestrator needs two properties from configs: a
+    # *stable identity* (equal configs must hash equal in every
+    # process, on every run — the on-disk result cache keys on it) and
+    # a *cheap wire form* (plain dicts cross multiprocessing pickle
+    # boundaries without dragging module state along).  Both come from
+    # the same canonical dict round-trip.
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form: nested dataclasses become nested dicts.
+
+        The result contains only JSON-representable scalars, so it is
+        safe to pickle into worker processes and to hash for cache
+        keys.  ``from_dict`` inverts it exactly.
+        """
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SystemConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+        fields = dict(data)
+        for name, factory in _NESTED_FIELDS.items():
+            if name in fields and isinstance(fields[name], dict):
+                fields[name] = factory(**fields[name])
+        return cls(**fields)
+
+    def canonical_json(self) -> str:
+        """Deterministic JSON encoding used for cache keys.
+
+        Keys are sorted and separators fixed, so two equal configs
+        produce byte-identical strings in any process (float repr is
+        deterministic in Python 3).
+        """
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+
+def _nested_field_types() -> Dict[str, type]:
+    """Nested dataclass fields of SystemConfig, derived from its own
+    annotations so :meth:`SystemConfig.from_dict` re-hydrates every
+    sub-config — including ones added later — without a parallel
+    hand-maintained registry."""
+    hints = typing.get_type_hints(SystemConfig)
+    return {
+        f.name: hints[f.name]
+        for f in dataclasses.fields(SystemConfig)
+        if dataclasses.is_dataclass(hints.get(f.name))
+    }
+
+
+_NESTED_FIELDS = _nested_field_types()
 
 
 def ndp_config(**overrides) -> SystemConfig:

@@ -1,0 +1,276 @@
+"""Parallel sweep orchestration over independent simulations.
+
+Every paper figure is a cross product of independent ``run_once`` calls
+(workload x mechanism x system x core count), so wall-clock time scales
+with the whole grid even though no cell depends on another.
+:class:`SweepRunner` restores the obvious parallelism: it fans configs
+out across a ``multiprocessing`` pool and memoizes finished cells in an
+on-disk :class:`~repro.analysis.cache.ResultCache`, making every sweep
+both parallel and resumable.
+
+Guarantees the figure drivers rely on:
+
+* **Bit identity.**  The simulator is deterministic across processes
+  (seeded RNGs, integer PWC indexing), so a sweep run with ``jobs=8``
+  returns results identical field-for-field to the serial loop; the
+  golden-stats tests would catch any divergence.
+* **Order preservation.**  ``run(configs)`` returns one result per
+  input config, in input order, regardless of completion order.
+* **Dedup.**  Identical configs inside one sweep (e.g. a shared radix
+  baseline) are simulated once and the result is shared.
+* **Resumability.**  Results are persisted to the cache the moment they
+  arrive (atomically, one file per cell), so an interrupted sweep —
+  Ctrl-C, OOM-killed worker, CI timeout — leaves behind exactly the
+  finished cells and a re-run simulates only the missing ones.
+* **Cheap dispatch.**  Configs cross the process boundary as plain
+  dicts (``SystemConfig.to_dict``) in chunks, so large grids don't
+  serialize heavyweight objects per task; results stream back per
+  chunk via ``imap_unordered``.
+
+Typical use::
+
+    from repro.sim.sweep import SweepRunner, expand_grid
+
+    runner = SweepRunner(jobs=4, cache_dir=".sweep-cache")
+    results = runner.run(expand_grid(workloads=("bfs", "xs"),
+                                     mechanisms=("radix", "ndpage")))
+    print(runner.last_stats.summary())
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from itertools import product
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.sim.config import SystemConfig, cpu_config, ndp_config
+from repro.sim.runner import RunResult, run_once
+
+#: A worker task: (position-in-sweep, serialized config) pairs.
+_Cell = Tuple[int, dict]
+
+
+def _run_cells(task: Tuple[Optional[Callable], List[_Cell]]
+               ) -> List[Tuple[int, RunResult]]:
+    """Worker entry point: simulate one chunk of cells.
+
+    Top-level so it pickles under every multiprocessing start method.
+    Configs arrive as plain dicts and are re-hydrated here.
+    """
+    run_fn, cells = task
+    fn = run_fn or run_once
+    return [(pos, fn(SystemConfig.from_dict(data)))
+            for pos, data in cells]
+
+
+def derive_seed(base_seed: int, *parts) -> int:
+    """Deterministic per-cell seed from a base seed and cell identity.
+
+    Stable across processes and runs (SHA-256, not ``hash()``), and
+    independent of the cell's position in the sweep, so adding cells to
+    a grid never changes the seeds of existing ones.
+    """
+    text = ":".join([str(base_seed)] + [str(p) for p in parts])
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+def expand_grid(workloads: Sequence[str] = ("rnd",),
+                mechanisms: Sequence[str] = ("radix",),
+                systems: Sequence[str] = ("ndp",),
+                core_counts: Sequence[int] = (1,),
+                refs_per_core: int = 5000,
+                scale: float = 1.0,
+                seed: int = 42,
+                vary_seed: bool = False,
+                **overrides) -> List[SystemConfig]:
+    """Cross product of sweep axes as a flat config list.
+
+    Cells are ordered workload-major (workload, mechanism, system,
+    cores) to match the serial figure loops.  With ``vary_seed`` each
+    cell gets a :func:`derive_seed`-derived seed instead of the shared
+    base seed — deterministic, but distinct per cell.
+    """
+    configs = []
+    for workload, mechanism, system, cores in product(
+            workloads, mechanisms, systems, core_counts):
+        cell_seed = (derive_seed(seed, workload, mechanism, system,
+                                 cores)
+                     if vary_seed else seed)
+        factory = ndp_config if system == "ndp" else cpu_config
+        configs.append(factory(
+            workload=workload, mechanism=mechanism, num_cores=cores,
+            refs_per_core=refs_per_core, scale=scale, seed=cell_seed,
+            **overrides))
+    return configs
+
+
+@dataclass
+class SweepStats:
+    """What the last :meth:`SweepRunner.run` actually did."""
+
+    cells: int = 0            # configs requested
+    unique: int = 0           # after in-sweep dedup
+    cache_hits: int = 0       # unique cells served from disk
+    simulated: int = 0        # unique cells actually run
+    jobs: int = 1
+    wall_seconds: float = 0.0
+    references: int = 0       # simulated references (fresh cells only)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.unique if self.unique else 0.0
+
+    @property
+    def refs_per_sec(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.references / self.wall_seconds
+
+    def summary(self) -> str:
+        return (f"{self.cells} cells ({self.unique} unique): "
+                f"{self.cache_hits} cached, {self.simulated} simulated "
+                f"on {self.jobs} worker(s) in {self.wall_seconds:.2f} s"
+                + (f" ({self.refs_per_sec:,.0f} refs/s)"
+                   if self.simulated else ""))
+
+
+class SweepRunner:
+    """Run many independent configs, in parallel, through a cache.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count.  ``None`` means ``os.cpu_count()``;
+        ``1`` runs everything in-process (no pool, no pickling) —
+        the default for library callers that just want the grid/dedup/
+        cache semantics without multiprocessing.
+    cache:
+        A :class:`~repro.analysis.cache.ResultCache` (or any object
+        with the same ``key``/``load``/``store`` surface, including
+        their ``key=`` fast paths), or ``None`` to disable
+        persistence.
+    cache_dir:
+        Convenience: build a ``ResultCache`` rooted here.  Ignored
+        when ``cache`` is given.
+    chunk_size:
+        Cells per worker task.  ``None`` picks a size that gives each
+        worker a few tasks (amortizes IPC without starving the pool).
+    """
+
+    def __init__(self, jobs: Optional[int] = 1, cache=None,
+                 cache_dir=None, chunk_size: Optional[int] = None):
+        if cache is None and cache_dir is not None:
+            from repro.analysis.cache import ResultCache
+            cache = ResultCache(cache_dir)
+        self.jobs = max(1, jobs if jobs is not None
+                        else (os.cpu_count() or 1))
+        self.cache = cache
+        self.chunk_size = chunk_size
+        self.last_stats = SweepStats()
+
+    # -- identity ----------------------------------------------------
+
+    def _key(self, config: SystemConfig) -> str:
+        if self.cache is not None:
+            return self.cache.key(config)
+        return config.canonical_json()
+
+    # -- execution ---------------------------------------------------
+
+    def run(self, configs: Sequence[SystemConfig],
+            run_fn: Optional[Callable[[SystemConfig], RunResult]] = None
+            ) -> List[RunResult]:
+        """Simulate every config; return results in input order.
+
+        ``run_fn`` is an instrumentation seam, not an alternate
+        simulator: it must be observationally equivalent to
+        :func:`run_once` for the same config (a wrapper that counts,
+        logs, or interrupts), because results are cached under the
+        config's key alone — a ``run_fn`` computing *different*
+        results would poison any cache this runner holds.  It must be
+        a picklable top-level callable when ``jobs > 1``.  Tests use
+        it to instrument and interrupt sweeps.
+        """
+        start = time.perf_counter()
+        keys = [self._key(config) for config in configs]
+
+        # In-sweep dedup: first occurrence wins.
+        unique: Dict[str, SystemConfig] = {}
+        for key, config in zip(keys, configs):
+            unique.setdefault(key, config)
+
+        results: Dict[str, RunResult] = {}
+        if self.cache is not None:
+            for key, config in unique.items():
+                cached = self.cache.load(config, key=key)
+                if cached is not None:
+                    results[key] = cached
+
+        missing = [(key, config) for key, config in unique.items()
+                   if key not in results]
+        stats = SweepStats(cells=len(configs), unique=len(unique),
+                           cache_hits=len(unique) - len(missing),
+                           simulated=len(missing), jobs=self.jobs)
+
+        if missing:
+            if self.jobs == 1 or len(missing) == 1:
+                self._run_serial(missing, results, run_fn)
+            else:
+                self._run_pool(missing, results, run_fn)
+
+        stats.references = sum(
+            results[key].references for key, _ in missing
+            if key in results)
+        stats.wall_seconds = time.perf_counter() - start
+        self.last_stats = stats
+        return [results[key] for key in keys]
+
+    def _store(self, key: str, config: SystemConfig,
+               result: RunResult) -> None:
+        if self.cache is not None:
+            self.cache.store(config, result, key=key)
+
+    def _run_serial(self, missing, results, run_fn) -> None:
+        fn = run_fn or run_once
+        for key, config in missing:
+            result = fn(config)
+            results[key] = result
+            self._store(key, config, result)
+
+    def _run_pool(self, missing, results, run_fn) -> None:
+        cells: List[_Cell] = [
+            (pos, config.to_dict())
+            for pos, (_, config) in enumerate(missing)]
+        chunk = self.chunk_size or max(
+            1, min(8, len(cells) // (self.jobs * 4) or 1))
+        tasks = [(run_fn, cells[i:i + chunk])
+                 for i in range(0, len(cells), chunk)]
+        workers = min(self.jobs, len(tasks))
+        # Persist each chunk as it lands so an interrupt (Ctrl-C, CI
+        # timeout) keeps everything finished so far; the pool context
+        # manager tears workers down on the way out either way.
+        with multiprocessing.Pool(processes=workers) as pool:
+            for done in pool.imap_unordered(_run_cells, tasks):
+                for pos, result in done:
+                    key, config = missing[pos]
+                    results[key] = result
+                    self._store(key, config, result)
+
+
+def run_sweep(configs: Sequence[SystemConfig],
+              jobs: Optional[int] = 1,
+              cache_dir=None) -> List[RunResult]:
+    """One-shot convenience wrapper around :class:`SweepRunner`."""
+    return SweepRunner(jobs=jobs, cache_dir=cache_dir).run(configs)

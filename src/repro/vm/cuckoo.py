@@ -112,7 +112,7 @@ class ElasticCuckooPageTable(PageTable):
         return _Way(self._rng.getrandbits(64), size,
                     self._allocator.frame_paddr(first))
 
-    # -- functional operations ---------------------------------------------------
+    # -- functional operations ------------------------------------------------
 
     @property
     def load_factor(self) -> float:
@@ -185,7 +185,7 @@ class ElasticCuckooPageTable(PageTable):
                 return
         raise MappingError(f"page {page:#x} not mapped")
 
-    # -- walker-facing structure ---------------------------------------------------
+    # -- walker-facing structure ----------------------------------------------
 
     def walk_stages(self, page: int) -> List[List[WalkStage]]:
         """One stage of ``d`` parallel probes (nests disabled)."""

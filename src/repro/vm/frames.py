@@ -146,7 +146,7 @@ class FrameAllocator:
     def _is_fragmented(self, partial: _PartialBlock) -> bool:
         return any(p is partial for p in self._fragmented)
 
-    # -- allocation ------------------------------------------------------------
+    # -- allocation -----------------------------------------------------------
 
     def alloc_frame(self, site: int = 0) -> int:
         """Allocate one 4 KB frame for allocation site ``site``.

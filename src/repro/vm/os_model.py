@@ -20,8 +20,8 @@ from __future__ import annotations
 
 import enum
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Optional, Tuple
+from dataclasses import dataclass
+from typing import Deque, Tuple
 
 from repro.vm.address import (
     ENTRIES_PER_NODE,
@@ -119,7 +119,7 @@ class OSMemoryManager:
         self._last_rehashed = current
         return delta * self.costs.ech_rehash_cycles_per_entry
 
-    # -- fault handling ----------------------------------------------------------
+    # -- fault handling -------------------------------------------------------
 
     def ensure_translated(self, vaddr: int, site: int = 0):
         """Resolve ``vaddr``'s translation, faulting it in if needed.
@@ -250,7 +250,7 @@ class OSMemoryManager:
         self.stats.huge_faults += 1
         return cycles + self.costs.huge_fault_cycles
 
-    # -- metadata marking (Section V-A) -------------------------------------------
+    # -- metadata marking (Section V-A) ---------------------------------------
 
     def metadata_bytes(self) -> int:
         """Physical memory currently holding page-table structures."""

@@ -70,7 +70,7 @@ class RadixPageTable(PageTable):
         self._mapped_pages = 0
         self.huge_mappings = 0
 
-    # -- construction helpers --------------------------------------------------
+    # -- construction helpers -------------------------------------------------
 
     def _new_node(self, level: int) -> _Node:
         frame = self._allocator.alloc_frame(site=PT_ALLOC_SITE)
@@ -87,7 +87,7 @@ class RadixPageTable(PageTable):
             return None
         return child
 
-    # -- PageTable interface -----------------------------------------------------
+    # -- PageTable interface --------------------------------------------------
 
     def lookup(self, page: int) -> Optional[Translation]:
         # Unrolled descent with the level_index shifts inlined: this

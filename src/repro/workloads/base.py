@@ -133,7 +133,7 @@ class Workload(ABC):
         """Page ranges at the paper's dataset size (Fig. 8 input)."""
         return type(self)(scale=1.0, seed=self.seed).page_ranges()
 
-    # -- reference stream --------------------------------------------------------
+    # -- reference stream -----------------------------------------------------
 
     @abstractmethod
     def _chunk(self, rng: np.random.Generator, num_refs: int,
@@ -189,7 +189,7 @@ class Workload(ABC):
         for addrs, writes in self.stream_chunks(core_id, num_refs):
             yield from zip(addrs, writes)
 
-    # -- introspection --------------------------------------------------------------
+    # -- introspection --------------------------------------------------------
 
     def describe(self) -> dict:
         """Summary used by the Table II benchmark and examples."""

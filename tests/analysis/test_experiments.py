@@ -1,7 +1,5 @@
 """Smoke tests for the per-figure experiment drivers (tiny parameters)."""
 
-import pytest
-
 from repro.analysis import experiments
 
 TINY = dict(workloads=("rnd",), refs_per_core=400, scale=1 / 64)

@@ -1,0 +1,137 @@
+"""Tests for the on-disk result cache (hit/miss/invalidation/exactness)."""
+
+import dataclasses
+import json
+
+from repro.analysis.cache import (
+    CODE_VERSION,
+    ResultCache,
+    config_key,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.sim.config import ndp_config
+from repro.sim.runner import run_once
+
+
+def tiny_config(**overrides):
+    overrides.setdefault("workload", "rnd")
+    overrides.setdefault("refs_per_core", 300)
+    overrides.setdefault("scale", 1 / 64)
+    return ndp_config(**overrides)
+
+
+class TestConfigKey:
+    def test_equal_configs_hash_equal(self):
+        assert config_key(tiny_config()) == config_key(tiny_config())
+
+    def test_any_field_changes_key(self):
+        base = config_key(tiny_config())
+        assert config_key(tiny_config(seed=43)) != base
+        assert config_key(tiny_config(mechanism="ndpage")) != base
+        assert config_key(tiny_config(refs_per_core=301)) != base
+
+    def test_code_version_changes_key(self):
+        cfg = tiny_config()
+        assert config_key(cfg, "sim-v1") != config_key(cfg, "sim-v2")
+
+    def test_key_is_hex_filename_safe(self):
+        key = config_key(tiny_config())
+        assert len(key) == 40
+        assert set(key) <= set("0123456789abcdef")
+
+
+class TestResultRoundTrip:
+    def test_bit_exact_through_json(self):
+        result = run_once(tiny_config())
+        wire = json.loads(json.dumps(result_to_dict(result)))
+        restored = result_from_dict(wire)
+        assert dataclasses.asdict(restored) == \
+            dataclasses.asdict(result)
+        assert restored.config == result.config
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cfg = tiny_config()
+        assert cache.load(cfg) is None
+        assert cfg not in cache
+
+        result = run_once(cfg)
+        cache.store(cfg, result)
+        assert cfg in cache
+        cached = cache.load(cfg)
+        assert dataclasses.asdict(cached) == dataclasses.asdict(result)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+
+    def test_different_config_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cfg = tiny_config()
+        cache.store(cfg, run_once(cfg))
+        assert cache.load(tiny_config(seed=99)) is None
+
+    def test_code_version_invalidates(self, tmp_path):
+        old = ResultCache(tmp_path, code_version="sim-v1")
+        cfg = tiny_config()
+        old.store(cfg, run_once(cfg))
+
+        new = ResultCache(tmp_path, code_version="sim-v2")
+        assert new.load(cfg) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cfg = tiny_config()
+        cache.store(cfg, run_once(cfg))
+        cache.path(cfg).write_text("{ truncated")
+        assert cache.load(cfg) is None
+
+    def test_stale_entry_shape_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cfg = tiny_config()
+        cache.path(cfg).write_text(json.dumps({"format": 999}))
+        assert cache.load(cfg) is None
+
+    def test_outdated_result_fields_are_a_miss(self, tmp_path):
+        """An entry written before a RunResult field rename/addition
+        must degrade to a miss, not crash the sweep."""
+        cache = ResultCache(tmp_path)
+        cfg = tiny_config()
+        cache.store(cfg, run_once(cfg))
+        entry = json.loads(cache.path(cfg).read_text())
+        entry["result"]["bogus_old_field"] = 1          # unexpected kw
+        del entry["result"]["cycles"]                   # missing kw
+        cache.path(cfg).write_text(json.dumps(entry))
+        assert cache.load(cfg) is None
+
+        entry = json.loads(cache.path(cfg).read_text())
+        del entry["result"]
+        cache.path(cfg).write_text(json.dumps(entry))
+        assert cache.load(cfg) is None
+
+    def test_len_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for seed in (1, 2, 3):
+            cfg = tiny_config(seed=seed)
+            cache.store(cfg, run_once(cfg))
+        assert len(cache) == 3
+        # clear() also sweeps up tmp orphans from a mid-write kill.
+        orphan = tmp_path / "deadbeef.tmp.12345"
+        orphan.write_text("partial")
+        assert cache.clear() == 3
+        assert len(cache) == 0
+        assert not orphan.exists()
+
+    def test_default_code_version_used(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.code_version == CODE_VERSION
+
+    def test_hit_rate(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cfg = tiny_config()
+        cache.load(cfg)
+        cache.store(cfg, run_once(cfg))
+        cache.load(cfg)
+        assert cache.stats.hit_rate == 0.5

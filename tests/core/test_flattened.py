@@ -6,7 +6,7 @@ from hypothesis import given, settings, strategies as st
 from repro.core.flattened import FlattenedPageTable, flattened_coverage_bytes
 from repro.vm.address import FLAT_ENTRIES, PAGE_SHIFT, make_vpn
 from repro.vm.base import MappingError, Translation
-from repro.vm.frames import FRAMES_PER_BLOCK, FrameAllocator, OutOfMemoryError
+from repro.vm.frames import FrameAllocator, OutOfMemoryError
 
 MIB = 1024 ** 2
 VPNS = st.integers(min_value=0, max_value=(1 << 36) - 1)

@@ -2,7 +2,6 @@
 
 from repro.mem.request import (
     AccessType,
-    MemoryRequest,
     RequestKind,
     read,
     write,

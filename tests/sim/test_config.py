@@ -1,9 +1,15 @@
-"""Tests for SystemConfig (Table I defaults and validation)."""
+"""Tests for SystemConfig (Table I defaults, validation, serialization)."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
 
 import pytest
 
 from repro.sim.config import (
     DEFAULT_SCALE,
+    CacheParams,
     SystemConfig,
     cpu_config,
     ndp_config,
@@ -86,3 +92,71 @@ class TestBuilders:
         cfg = ndp_config()
         with pytest.raises(Exception):
             cfg.num_cores = 4
+
+
+class TestSerialization:
+    """The canonical round-trip the sweep cache and workers rely on."""
+
+    def test_to_dict_is_plain_data(self):
+        data = ndp_config(workload="bfs").to_dict()
+        assert data["workload"] == "bfs"
+        assert data["l1"] == {"size": 32 * 1024, "associativity": 8,
+                              "latency": 4}
+        assert isinstance(data["tlb"], dict)
+        assert isinstance(data["fault_costs"], dict)
+
+    def test_round_trip_exact(self):
+        cfg = cpu_config(workload="xs", mechanism="ndpage",
+                         num_cores=8, refs_per_core=1234,
+                         scale=0.125, seed=9,
+                         l1=CacheParams(16 * 1024, 4, 3))
+        assert SystemConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_from_dict_validates(self):
+        data = ndp_config().to_dict()
+        data["mechanism"] = "quantum"
+        with pytest.raises(ValueError):
+            SystemConfig.from_dict(data)
+
+    def test_canonical_json_deterministic(self):
+        a = ndp_config(workload="bfs", seed=3)
+        b = ndp_config(workload="bfs", seed=3)
+        assert a.canonical_json() == b.canonical_json()
+        assert a.canonical_json() != \
+            ndp_config(workload="bfs", seed=4).canonical_json()
+
+    def test_pickle_round_trip(self):
+        import pickle
+        cfg = ndp_config(workload="xs", num_cores=4)
+        assert pickle.loads(pickle.dumps(cfg)) == cfg
+
+
+class TestCrossProcessHash:
+    """Equal configs must hash equal in freshly started interpreters,
+    whatever PYTHONHASHSEED does — the on-disk cache depends on it."""
+
+    CHILD = (
+        "from repro.sim.config import ndp_config\n"
+        "from repro.analysis.cache import config_key\n"
+        "cfg = ndp_config(workload='bfs', mechanism='ndpage',\n"
+        "                 refs_per_core=1234, seed=9)\n"
+        "print(config_key(cfg))\n"
+    )
+
+    def _child_key(self, hash_seed: str) -> str:
+        src = Path(__file__).resolve().parents[2] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(src)
+        env["PYTHONHASHSEED"] = hash_seed
+        out = subprocess.run(
+            [sys.executable, "-c", self.CHILD], env=env,
+            capture_output=True, text=True, check=True)
+        return out.stdout.strip()
+
+    def test_equal_configs_hash_equal_across_processes(self):
+        from repro.analysis.cache import config_key
+        parent = config_key(ndp_config(
+            workload="bfs", mechanism="ndpage", refs_per_core=1234,
+            seed=9))
+        assert self._child_key("0") == parent
+        assert self._child_key("424242") == parent

@@ -1,7 +1,5 @@
 """Tests for system assembly (Table I wiring, prefault warmup)."""
 
-import pytest
-
 from repro.mem.dram import DDR4_2400, HBM2
 from repro.sim.config import cpu_config, ndp_config
 from repro.sim.system import System

@@ -26,6 +26,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure", "fig99"])
 
+    def test_figure_sweep_options(self):
+        args = build_parser().parse_args(
+            ["figure", "fig12", "--jobs", "4", "--cache-dir", "c"])
+        assert args.jobs == 4
+        assert args.cache_dir == "c"
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.workloads == ["bfs", "xs", "rnd"]
+        assert args.cores == [4]
+        assert args.jobs == 1
+        assert args.cache_dir is None
+
+    def test_sweep_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--workloads", "nope"])
+
 
 class TestCommands:
     def test_run_prints_summary(self, capsys):
@@ -53,3 +70,26 @@ class TestCommands:
         assert main(["figure", "fig8"]) == 0
         out = capsys.readouterr().out
         assert "PL2/1" in out
+
+    def test_sweep_prints_grid_and_stats(self, capsys, tmp_path):
+        argv = ["sweep", "--workloads", "rnd", "--mechanisms",
+                "radix", "ndpage", "--cores", "1", "--refs", "300",
+                "--scale", str(1 / 64),
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "sweep (2 cells)" in out
+        assert "2 simulated" in out
+
+        # Second invocation is served entirely from the cache.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "2 cached, 0 simulated" in out
+
+    def test_figure_with_cache_dir(self, capsys, tmp_path):
+        argv = ["figure", "fig10", "--refs", "300",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        assert "sweep:" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "0 simulated" in capsys.readouterr().out

@@ -5,7 +5,7 @@ multi-million-entry tables."""
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.vm.address import ENTRIES_PER_NODE, FLAT_ENTRIES
+from repro.vm.address import FLAT_ENTRIES
 from repro.vm.frames import FrameAllocator
 from repro.vm.occupancy import (
     flattened_occupancy_from_ranges,

@@ -2,11 +2,10 @@
 
 import pytest
 
-from repro.vm.address import HUGE_PAGE_SHIFT, PAGE_SHIFT, PAGE_SIZE
+from repro.vm.address import HUGE_PAGE_SHIFT, PAGE_SIZE
 from repro.vm.cuckoo import ElasticCuckooPageTable
-from repro.vm.frames import FRAMES_PER_BLOCK, FrameAllocator
+from repro.vm.frames import FrameAllocator
 from repro.vm.os_model import (
-    FaultCosts,
     OSMemoryManager,
     PagingPolicy,
     huge_region_of,

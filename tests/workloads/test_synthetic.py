@@ -47,7 +47,6 @@ class TestSelectors:
                                            exponent=1.5)
         # Same skew, but hot ids are no longer the small integers.
         assert plain.min() < 100
-        hot = np.bincount(scattered % 1000).argmax()
         assert scattered.max() > 1 << 19
 
     def test_mixed_mostly_uniform(self, rng):
