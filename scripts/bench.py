@@ -32,6 +32,8 @@ JSON format (``BENCH_*.json``)::
     {
       "label": "PR1",
       "python": "3.11.x",
+      "host": {"cpu_count": 8, "cpu_model": "...", "machine": "...",
+               "platform": "..."},
       "refs_per_core": 120000,
       "scale": 0.05,
       "results": [
@@ -53,6 +55,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -65,14 +68,17 @@ from repro.sim.config import ndp_config  # noqa: E402
 from repro.sim.runner import run_once  # noqa: E402
 from repro.sim.sweep import SweepRunner, expand_grid  # noqa: E402
 
-#: The benchmark suite: walker-heavy baseline, graph traversal, and the
-#: paper's mechanism.  Single-core on purpose — the per-reference path
-#: is what this harness tracks; the engine's multi-core interleaving is
-#: covered by the figure benchmarks.
+#: The benchmark suite: walker-heavy baseline, graph traversal, the
+#: paper's mechanism, and a two-tenant schedule (the multi-process
+#: scheduler + ASID-tagged-TLB path).  Single-core on purpose — the
+#: per-reference path is what this harness tracks; the engine's
+#: multi-core interleaving is covered by the figure benchmarks.
 SUITE = (
     {"name": "rnd-radix", "workload": "rnd", "mechanism": "radix"},
     {"name": "bfs-radix", "workload": "bfs", "mechanism": "radix"},
     {"name": "xs-ndpage", "workload": "xs", "mechanism": "ndpage"},
+    {"name": "xs-radix-2t", "workload": "xs", "mechanism": "radix",
+     "tenants": 2},
 )
 
 
@@ -85,7 +91,36 @@ def bench_config(entry: dict, refs: int, scale: float, seed: int = 42):
         refs_per_core=refs,
         scale=scale,
         seed=seed,
+        tenants=entry.get("tenants", 1),
     )
+
+
+def _cpu_model() -> str:
+    """Human-readable CPU model, best effort across platforms."""
+    if sys.platform.startswith("linux"):
+        try:
+            with open("/proc/cpuinfo") as handle:
+                for line in handle:
+                    if line.lower().startswith("model name"):
+                        return line.split(":", 1)[1].strip()
+        except OSError:
+            pass
+    return platform.processor() or platform.machine()
+
+
+def host_info() -> dict:
+    """Machine identity embedded in every report.
+
+    BENCH_*.json files accumulate a cross-PR performance trajectory;
+    refs/sec is only comparable between reports measured on the same
+    class of machine, so each report says what it ran on.
+    """
+    return {
+        "cpu_count": os.cpu_count(),
+        "cpu_model": _cpu_model(),
+        "machine": platform.machine(),
+        "platform": platform.platform(),
+    }
 
 
 def run_suite(refs: int, scale: float, seed: int = 42,
@@ -115,6 +150,7 @@ def run_suite(refs: int, scale: float, seed: int = 42,
             "workload": entry["workload"],
             "mechanism": entry["mechanism"],
             "num_cores": config.num_cores,
+            "tenants": config.tenants,
             "references": result.references,
             "wall_seconds": round(wall, 4),
             "refs_per_sec": round(refs_per_sec, 1),
@@ -137,6 +173,7 @@ def run_suite(refs: int, scale: float, seed: int = 42,
     }
     return {
         "python": platform.python_version(),
+        "host": host_info(),
         "refs_per_core": refs,
         "scale": scale,
         "results": results,
@@ -251,7 +288,6 @@ def main(argv=None) -> int:
 
     sweep_jobs = args.sweep_jobs
     if sweep_jobs is None:
-        import os
         sweep_jobs = min(4, os.cpu_count() or 1)
     if sweep_jobs > 0:
         report["sweep"] = run_sweep_bench(

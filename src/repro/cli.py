@@ -29,20 +29,22 @@ from repro.analysis import experiments
 from repro.analysis.cache import ResultCache
 from repro.analysis.tables import format_mapping_table, format_table
 from repro.core.mechanisms import MECHANISMS, PAPER_MECHANISMS
-from repro.sim.config import cpu_config, ndp_config
+from repro.sim.config import SchedulerParams, cpu_config, ndp_config
 from repro.sim.runner import run_mechanisms, run_once
 from repro.sim.sweep import SweepRunner, expand_grid
 from repro.workloads.registry import ALL_WORKLOADS, workload_table
 
 FIGURES = ("fig4", "fig5", "fig6", "fig7", "fig8", "fig10",
-           "fig12", "fig13", "fig14")
+           "fig12", "fig13", "fig14", "interference")
 
 
 def _config_from(args):
     factory = ndp_config if args.system == "ndp" else cpu_config
+    scheduler = SchedulerParams(quantum_refs=args.quantum)
     return factory(workload=args.workload, mechanism=args.mechanism,
                    num_cores=args.cores, refs_per_core=args.refs,
-                   seed=args.seed)
+                   seed=args.seed, tenants=args.tenants,
+                   scheduler=scheduler)
 
 
 def _add_common(parser):
@@ -54,6 +56,13 @@ def _add_common(parser):
     parser.add_argument("--system", default="ndp",
                         choices=("ndp", "cpu"))
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--tenants", type=int, default=1,
+                        help="co-running processes time-sliced onto "
+                             "the cores (default 1: single address "
+                             "space)")
+    parser.add_argument("--quantum", type=int,
+                        default=SchedulerParams().quantum_refs,
+                        help="scheduler time slice in references")
 
 
 def _add_sweep_opts(parser):
@@ -151,6 +160,15 @@ def cmd_figure(args) -> int:
                                           runner=runner)
         print(format_table(["level", "hit rate"],
                            sorted(rates.items()), title="Fig. 10"))
+    elif args.figure == "interference":
+        table = experiments.tenant_interference(refs_per_core=refs,
+                                                runner=runner)
+        columns = sorted(next(iter(table.values())),
+                         key=lambda c: (int(c.split("t")[0]), c))
+        print(format_mapping_table(
+            table, columns, row_label="mechanism",
+            title="Multi-tenant interference (cycles/ref, degradation "
+                  "vs fewest tenants, shootdowns)"))
     else:  # fig12 / fig13 / fig14
         cores = {"fig12": 1, "fig13": 4, "fig14": 8}[args.figure]
         table, averages, _ = experiments.speedup_experiment(
@@ -168,7 +186,9 @@ def cmd_sweep(args) -> int:
     configs = expand_grid(
         workloads=args.workloads, mechanisms=args.mechanisms,
         systems=args.systems, core_counts=args.cores,
-        refs_per_core=args.refs, scale=args.scale, seed=args.seed)
+        refs_per_core=args.refs, scale=args.scale, seed=args.seed,
+        tenants=args.tenants,
+        scheduler=SchedulerParams(quantum_refs=args.quantum))
     runner = _runner_from(args)
     results = runner.run(configs)
     rows = [
@@ -235,6 +255,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="memory references per core")
     sweep_p.add_argument("--scale", type=float, default=1.0)
     sweep_p.add_argument("--seed", type=int, default=42)
+    sweep_p.add_argument("--tenants", type=int, default=1,
+                         help="co-running processes per cell")
+    sweep_p.add_argument("--quantum", type=int,
+                         default=SchedulerParams().quantum_refs,
+                         help="scheduler time slice in references")
     _add_sweep_opts(sweep_p)
     sweep_p.set_defaults(func=cmd_sweep)
 

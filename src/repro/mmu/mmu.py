@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from repro.mmu.tlb import TlbHierarchy
 from repro.mmu.walker import PageTableWalker
 from repro.sim.stats import LatencyStats
-from repro.vm.address import PAGE_SHIFT, VA_MASK
+from repro.vm.address import ASID_KEY_MASK, PAGE_SHIFT, VA_MASK, asid_tag
 from repro.vm.os_model import OSMemoryManager
 
 
@@ -76,18 +76,26 @@ class Mmu:
             the paper's *Ideal* mechanism.  Demand-paging still occurs
             (frames must exist), and its cost is still charged, so the
             comparison against real mechanisms stays apples-to-apples.
+        asid: address-space id of the process this MMU context serves.
+            Packed above the VPN bits of every TLB key (ASID 0 tags to
+            0, leaving single-process keys untouched), so contexts of
+            co-scheduled tenants share one TLB hierarchy without
+            aliasing each other's translations.
     """
 
-    __slots__ = ("core_id", "tlbs", "walker", "os", "ideal", "stats")
+    __slots__ = ("core_id", "tlbs", "walker", "os", "ideal", "asid",
+                 "asid_tag", "stats")
 
     def __init__(self, core_id: int, tlbs: TlbHierarchy,
                  walker: PageTableWalker, os_model: OSMemoryManager,
-                 ideal: bool = False):
+                 ideal: bool = False, asid: int = 0):
         self.core_id = core_id
         self.tlbs = tlbs
         self.walker = walker
         self.os = os_model
         self.ideal = ideal
+        self.asid = asid
+        self.asid_tag = asid_tag(asid)
         self.stats = MmuStats()
 
     def translate_parts(self, now: float, vaddr: int):
@@ -98,7 +106,9 @@ class Mmu:
         """
         stats = self.stats
         stats.translations += 1
-        page = (vaddr & VA_MASK) >> PAGE_SHIFT
+        # ASID-tagged TLB key; the tag is 0 (a no-op OR) for the
+        # single-address-space configurations.
+        page = ((vaddr & VA_MASK) >> PAGE_SHIFT) | self.asid_tag
 
         if self.ideal:
             translation, fault_cycles = self.os.ensure_translated(
@@ -130,7 +140,13 @@ class Mmu:
         return self._translate_slow(now, vaddr, page)
 
     def _translate_slow(self, now: float, vaddr: int, page: int):
-        """L1-DTLB miss: 2 MB L1 / L2 TLBs, then fault + walk."""
+        """L1-DTLB miss: 2 MB L1 / L2 TLBs, then fault + walk.
+
+        ``page`` is the ASID-tagged key (tag 0 single-process); the
+        page table and walker plan memo work on the untagged VPN —
+        each tenant has its own table, so tags would only split the
+        memo for nothing.
+        """
         stats = self.stats
         translation, latency = \
             self.tlbs.lookup_after_l1_small_miss(page)
@@ -148,13 +164,14 @@ class Mmu:
         # takes the OS path, after which the page is mapped and the
         # plan resolves.
         walker = self.walker
-        plan = walker.plan_info(page)
+        vpn = page & ASID_KEY_MASK
+        plan = walker.plan_info(vpn)
         if plan is not None:
             fault_cycles = 0.0
         else:
             _, fault_cycles = self.os.ensure_translated(
                 vaddr, site=self.core_id)
-            plan = walker.plan_info(page)
+            plan = walker.plan_info(vpn)
         flat, staged, translation = plan
         walk_latency = walker.walk_from_plan(
             now + latency + fault_cycles, flat, staged)

@@ -8,6 +8,13 @@ the memory accesses for L and everything above it and resume below.
 NDPage keeps the near-perfect L4/L3 PWCs and concentrates the poorly
 caching bottom of the tree into a single flattened level, so a typical
 walk costs one memory access.
+
+Under multiprogramming the walker tags every key with the owning
+address space's ASID (packed above the prefix bits, see
+:data:`repro.vm.address.ASID_SHIFT`), so co-runners' entries coexist;
+when the scheduler must recycle ASIDs it calls :meth:`PwcSet.flush`,
+which clears every level in place (the walker's memoized set bindings
+stay valid) and counts the flush for the scheduler's accounting.
 """
 
 from __future__ import annotations
@@ -77,6 +84,7 @@ class PwcSet:
     def __init__(self, levels, entries: int = 32, associativity: int = 4,
                  latency: int = 1):
         self.latency = latency
+        self.flushes = 0
         self._caches: Dict[str, PageWalkCache] = {
             level: PageWalkCache(level, entries, associativity, latency)
             for level in levels
@@ -109,5 +117,7 @@ class PwcSet:
         return hits / total if total else 0.0
 
     def flush(self) -> None:
+        """Clear every level in place (ASID recycle / full shootdown)."""
+        self.flushes += 1
         for cache in self._caches.values():
             cache.flush()

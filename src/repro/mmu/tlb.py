@@ -10,6 +10,16 @@ holds 4 KB translations only — 2 MB pages are cached solely in the
 dedicated L1 2 MB TLB, as on several real cores.  The paper's Table I
 does not specify; this choice is what gives the Huge Page baseline a
 finite TLB reach at dataset scale.
+
+Multi-process support: entries are tagged by packing the ASID into the
+integer key above the VPN bits (:data:`repro.vm.address.ASID_SHIFT`),
+so translations of co-scheduled address spaces coexist and a context
+switch needs no flush while hardware ASIDs last.  Set indexing uses
+``key % num_sets`` with power-of-two set counts, so the tag never moves
+an entry's set — two tenants' copies of one VPN conflict in the same
+set, exactly as on hardware that indexes by VPN and compares the ASID
+in the tag.  ASID 0 tags to 0: single-address-space keys (and the
+inlined fast-path probes built on them) are untouched.
 """
 
 from __future__ import annotations
@@ -25,7 +35,7 @@ class Tlb:
     """One set-associative TLB with LRU replacement."""
 
     __slots__ = ("name", "entries", "associativity", "latency",
-                 "page_shift", "num_sets", "stats", "_sets")
+                 "page_shift", "num_sets", "stats", "flushes", "_sets")
 
     def __init__(self, name: str, entries: int, associativity: int,
                  latency: int, page_shift: int = PAGE_SHIFT):
@@ -40,6 +50,7 @@ class Tlb:
         self.page_shift = page_shift
         self.num_sets = entries // associativity
         self.stats = HitMissStats()
+        self.flushes = 0
         self._sets: List[Dict[int, Translation]] = [
             {} for _ in range(self.num_sets)
         ]
@@ -76,6 +87,7 @@ class Tlb:
         return False
 
     def flush(self) -> None:
+        self.flushes += 1
         for tlb_set in self._sets:
             tlb_set.clear()
 
@@ -198,6 +210,22 @@ class TlbHierarchy:
         self.l1_small.flush()
         self.l1_huge.flush()
         self.l2.flush()
+
+    def invalidate_page(self, key: int, huge: bool = False) -> bool:
+        """TLB-shootdown invalidation of one mapping.
+
+        ``key`` is the (possibly ASID-tagged) 4 KB-granularity key the
+        mapping was inserted under — for a 2 MB mapping, the tagged key
+        of its base page.  Returns True when any level held the entry
+        (real shootdown IPIs are sent regardless; the caller charges
+        their cost either way).
+        """
+        if huge:
+            return self.l1_huge.invalidate(
+                key >> (HUGE_PAGE_SHIFT - PAGE_SHIFT))
+        small = self.l1_small.invalidate(key)
+        l2 = self.l2.invalidate(key)
+        return small or l2
 
 
 def build_table1_tlbs(core_id: int = 0) -> TlbHierarchy:

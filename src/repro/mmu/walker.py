@@ -40,6 +40,7 @@ from repro.mem.hierarchy import MemoryHierarchy
 from repro.mem.request import KIND_METADATA
 from repro.mmu.pwc import PwcSet
 from repro.sim.stats import LatencyStats
+from repro.vm.address import asid_tag
 from repro.vm.base import MappingError, PageTable
 
 #: Plan-memo bound; the memo is cleared wholesale when it fills.  High
@@ -73,18 +74,22 @@ class PageTableWalker:
     """One core's PTW engine."""
 
     __slots__ = ("table", "hierarchy", "core_id", "pwcs", "bypass",
-                 "stats", "_level_info", "_plan_cache",
+                 "asid_tag", "stats", "_level_info", "_plan_cache",
                  "_plan_cache_version", "_l1", "last_accesses",
                  "last_pwc_hit_level")
 
     def __init__(self, table: PageTable, hierarchy: MemoryHierarchy,
                  core_id: int, pwcs: Optional[PwcSet] = None,
-                 bypass: Optional[BypassPolicy] = None):
+                 bypass: Optional[BypassPolicy] = None, asid: int = 0):
         self.table = table
         self.hierarchy = hierarchy
         self.core_id = core_id
         self.pwcs = pwcs
         self.bypass = bypass if bypass is not None else NoBypass()
+        # Non-zero when this walker serves one tenant of a multi-process
+        # run: PWC keys in memoized plans get the tag ORed in, so
+        # co-runners sharing the per-core PWCs never alias prefixes.
+        self.asid_tag = asid_tag(asid)
         self.stats = WalkerStats()
         # level -> (bypass_flag, pwc_cache_or_None): bypass policies are
         # pure per level name and the PWC set is fixed, so both halves
@@ -136,10 +141,36 @@ class PageTableWalker:
                 page, self._level_info, self._level_info_for)
             if plan is None:
                 return None
+            if self.asid_tag:
+                plan = self._tag_plan(plan)
             if len(cache) >= _PLAN_CACHE_LIMIT:
                 cache.clear()
             cache[page] = plan
         return plan
+
+    def _tag_plan(self, plan: tuple) -> tuple:
+        """OR this walker's ASID tag into every PWC key of a plan.
+
+        Runs once per memoized plan (never per walk) and only for
+        tenants with a non-zero ASID; the tag sits above the prefix
+        bits, so set indexing (``key % num_sets``) is unchanged and
+        co-runners' identical prefixes stay distinct in the tag match.
+        """
+        tag = self.asid_tag
+        flat, staged, translation = plan
+
+        def tag_step(step: tuple) -> tuple:
+            key = step[3]
+            if key is None:
+                return step
+            return (step[0], step[1], step[2], key | tag, step[4])
+
+        if flat is not None:
+            return (tuple(tag_step(s) for s in flat), None, translation)
+        return (None,
+                tuple(tuple(tag_step(s) for s in stage)
+                      for stage in staged),
+                translation)
 
     def walk_fast(self, now: float, page: int) -> float:
         """Walk the table for VPN ``page`` at ``now``; return the latency.

@@ -7,6 +7,7 @@ from repro.sim.config import (
     CacheParams,
     CoreParams,
     PwcParams,
+    SchedulerParams,
     SystemConfig,
     TlbParams,
     cpu_config,
@@ -15,6 +16,11 @@ from repro.sim.config import (
 from repro.sim.core_model import Core, CoreStats
 from repro.sim.engine import SimulationEngine
 from repro.sim.runner import RunResult, run_mechanisms, run_once
+from repro.sim.scheduler import (
+    ScheduledEngine,
+    SchedulerStats,
+    TenantCoordinator,
+)
 from repro.sim.sweep import (
     SweepRunner,
     SweepStats,
@@ -33,10 +39,14 @@ __all__ = [
     "RunResult",
     "SYSTEM_CPU",
     "SYSTEM_NDP",
+    "ScheduledEngine",
+    "SchedulerParams",
+    "SchedulerStats",
     "SimulationEngine",
     "SweepRunner",
     "SweepStats",
     "System",
+    "TenantCoordinator",
     "SystemConfig",
     "TlbParams",
     "cpu_config",

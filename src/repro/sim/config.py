@@ -18,7 +18,7 @@ import dataclasses
 import json
 import typing
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from repro.core.mechanisms import get_mechanism
 from repro.vm.os_model import FaultCosts
@@ -72,6 +72,34 @@ class PwcParams:
 
 
 @dataclass(frozen=True)
+class SchedulerParams:
+    """Multi-process scheduling knobs (the ``tenants`` axis).
+
+    ``quantum_refs`` is the time slice in memory references (the unit
+    the simulator advances in); ``context_switch_cycles`` is charged to
+    the slot's timeline at every switch.  ``max_asids`` models the
+    hardware ASID/PCID space: while co-runners fit, a switch preserves
+    TLB and PWC contents (entries are ASID-tagged); once processes
+    outnumber ASIDs the OS must recycle them and every switch costs a
+    full flush — ``flush_on_switch`` forces that behaviour regardless.
+    ``shootdown_cycles`` is the IPI + invalidation cost charged when
+    reclaim unmaps a page that remote TLBs may still cache.
+    """
+
+    quantum_refs: int = 2048
+    context_switch_cycles: int = 6_000
+    max_asids: int = 16
+    shootdown_cycles: int = 4_000
+    flush_on_switch: bool = False
+
+    def __post_init__(self):
+        if self.quantum_refs < 1:
+            raise ValueError("quantum_refs must be >= 1")
+        if self.max_asids < 1:
+            raise ValueError("max_asids must be >= 1")
+
+
+@dataclass(frozen=True)
 class CoreParams:
     """Core timing model knobs.
 
@@ -120,6 +148,15 @@ class SystemConfig:
     pwc: PwcParams = field(default_factory=PwcParams)
     core: CoreParams = field(default_factory=CoreParams)
     fault_costs: FaultCosts = field(default_factory=FaultCosts)
+    #: Number of co-running processes (address spaces).  Each tenant
+    #: gets its own page table and OS view over the *shared* physical
+    #: frame pool; the scheduler time-slices them onto the cores.
+    #: 1 (the default) is exactly the single-address-space simulation.
+    tenants: int = 1
+    #: Per-tenant workload keys; None means every tenant runs
+    #: ``workload``.  Length must equal ``tenants`` when given.
+    tenant_workloads: Optional[Tuple[str, ...]] = None
+    scheduler: SchedulerParams = field(default_factory=SchedulerParams)
 
     def __post_init__(self):
         if self.system not in (SYSTEM_CPU, SYSTEM_NDP):
@@ -131,6 +168,19 @@ class SystemConfig:
             raise ValueError("scale must be in (0, 1]")
         if self.refs_per_core < 1:
             raise ValueError("refs_per_core must be >= 1")
+        if self.tenants < 1:
+            raise ValueError("tenants must be >= 1")
+        if self.tenant_workloads is not None:
+            # JSON round-trips tuples as lists; normalize so equality
+            # and hashing are stable across from_dict.
+            if not isinstance(self.tenant_workloads, tuple):
+                object.__setattr__(self, "tenant_workloads",
+                                   tuple(self.tenant_workloads))
+            if len(self.tenant_workloads) != self.tenants:
+                raise ValueError(
+                    f"tenant_workloads has "
+                    f"{len(self.tenant_workloads)} entries for "
+                    f"{self.tenants} tenants")
         get_mechanism(self.mechanism)  # validate early
 
     @property
@@ -164,8 +214,18 @@ class SystemConfig:
         The result contains only JSON-representable scalars, so it is
         safe to pickle into worker processes and to hash for cache
         keys.  ``from_dict`` inverts it exactly.
+
+        Fields added after the on-disk cache format shipped (see
+        ``_VERSIONED_FIELDS``) are omitted while they hold their
+        defaults: a default-valued new axis must not perturb
+        ``canonical_json`` — and with it every existing cache key —
+        for configs that do not use it.
         """
-        return dataclasses.asdict(self)
+        data = dataclasses.asdict(self)
+        for name, default in _VERSIONED_FIELDS.items():
+            if getattr(self, name) == default:
+                del data[name]
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "SystemConfig":
@@ -201,6 +261,16 @@ def _nested_field_types() -> Dict[str, type]:
 
 
 _NESTED_FIELDS = _nested_field_types()
+
+#: Fields added after the on-disk result cache shipped, mapped to the
+#: default values under which :meth:`SystemConfig.to_dict` omits them.
+#: Omission keeps the canonical JSON — and every cache key derived from
+#: it — byte-identical for configs that predate the field.
+_VERSIONED_FIELDS: Dict[str, Any] = {
+    "tenants": 1,
+    "tenant_workloads": None,
+    "scheduler": SchedulerParams(),
+}
 
 
 def ndp_config(**overrides) -> SystemConfig:

@@ -194,6 +194,7 @@ class Core:
         per_ref_instr = 1 + gap_cycles
 
         ideal = mmu.ideal
+        asid_key = mmu.asid_tag  # 0 single-process: the OR is a no-op
         if not ideal:
             tlbs = mmu.tlbs
             l1t = tlbs.l1_small
@@ -230,7 +231,7 @@ class Core:
                 stats.translation_cycles += t_latency
                 stats.fault_cycles += fault_cycles
             else:
-                page = (vaddr & VA_MASK) >> PAGE_SHIFT
+                page = ((vaddr & VA_MASK) >> PAGE_SHIFT) | asid_key
                 tlb_set = l1t_sets[page % l1t_num_sets]
                 translation = tlb_set.get(page)
                 if translation is not None:

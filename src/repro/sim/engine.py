@@ -46,15 +46,21 @@ class SimulationEngine:
         if gc_was_enabled:
             gc.disable()
         try:
-            if len(self.cores) == 1:
-                self._run_single(self.cores[0])
-            else:
-                self._run_heap()
+            self._run()
         finally:
             if gc_was_enabled:
                 gc.enable()
         self.global_cycles = max(core.stats.cycles for core in self.cores)
         return self.global_cycles
+
+    def _run(self) -> None:
+        """Dispatch to the right loop; subclasses (the multi-process
+        scheduler engine) override this and inherit the gc pause and
+        the global-cycles aggregation around it."""
+        if len(self.cores) == 1:
+            self._run_single(self.cores[0])
+        else:
+            self._run_heap()
 
     def _run_single(self, core: Core) -> None:
         """Heap-free single-core loop over the chunked fast path."""

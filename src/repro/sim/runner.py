@@ -10,6 +10,7 @@ fault behaviour (the Huge Page story in Section VII-B).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional
 
@@ -107,7 +108,35 @@ def collect(system: System, cycles: float) -> RunResult:
             pwc_hits[level], pwc_hits[level] + pwc_misses[level])
 
     dram = hierarchy.dram.stats
-    os_stats = system.os.stats
+    if system.tenants:
+        # Multiprogrammed run: OS behaviour is the sum over tenant
+        # address spaces; occupancy is reported for tenant 0's table
+        # (co-runners of one workload are statistically alike), while
+        # table_bytes counts every tenant's structures — the real
+        # metadata footprint in the shared frame pool.
+        os_stats = _merged_os_stats(system.tenants)
+        table_bytes = sum(t.page_table.table_bytes()
+                          for t in system.tenants)
+        occupancy = system.tenants[0].page_table.occupancy()
+    else:
+        os_stats = system.os.stats
+        table_bytes = system.page_table.table_bytes()
+        occupancy = system.page_table.occupancy()
+
+    extras: Dict[str, float] = {}
+    sched = system.scheduler_stats
+    if sched is not None:
+        extras = {
+            "tenants": float(system.config.tenants),
+            "context_switches": float(sched.context_switches),
+            "preserved_switches": float(sched.preserved_switches),
+            "flush_switches": float(sched.flush_switches),
+            "switch_cycles": sched.switch_cycles,
+            "shootdowns": float(sched.shootdowns),
+            "shootdown_cycles": sched.shootdown_cycles,
+            "cross_tenant_reclaims": float(sched.cross_tenant_reclaims),
+            "frame_pressure": system.allocator.pressure,
+        }
 
     return RunResult(
         config=system.config,
@@ -128,7 +157,7 @@ def collect(system: System, cycles: float) -> RunResult:
             pte_accesses, pte_accesses + references),
         pte_memory_accesses=pte_accesses,
         pwc_hit_rates=pwc_hit_rates,
-        occupancy=system.page_table.occupancy(),
+        occupancy=occupancy,
         dram_accesses_by_kind={
             kind.value: count
             for kind, count in dram.accesses_by_kind.items()
@@ -145,8 +174,25 @@ def collect(system: System, cycles: float) -> RunResult:
         },
         data_evicted_by_metadata=sum(
             c.stats.data_evicted_by_metadata for c in hierarchy.l1ds),
-        table_bytes=system.page_table.table_bytes(),
+        table_bytes=table_bytes,
+        extras=extras,
     )
+
+
+def _merged_os_stats(tenants):
+    """Field-wise sum of every tenant's :class:`OsStats`.
+
+    Iterates the dataclass fields so counters added to OsStats later
+    are aggregated automatically instead of silently dropped.
+    """
+    merged = type(tenants[0].os.stats)()
+    names = [f.name for f in dataclasses.fields(merged)]
+    for tenant in tenants:
+        stats = tenant.os.stats
+        for name in names:
+            setattr(merged, name,
+                    getattr(merged, name) + getattr(stats, name))
+    return merged
 
 
 def run_once(config: SystemConfig) -> RunResult:

@@ -6,12 +6,21 @@
 mechanism spec, and per-core TLBs / PWCs / walkers / MMUs over shared
 DRAM — the multithreaded, shared-dataset execution model the paper
 evaluates.
+
+With ``config.tenants > 1`` the same machine is multiprogrammed: each
+tenant process gets its own workload stream, page table and OS view
+over the *shared* frame allocator, every core slot carries one
+execution context per tenant sharing the slot's ASID-tagged TLBs and
+PWCs, and a :class:`~repro.sim.scheduler.ScheduledEngine` time-slices
+the contexts with the configured quantum.  ``tenants == 1`` is exactly
+the single-address-space assembly, bit for bit.
 """
 
 from __future__ import annotations
 
 import gc
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.mechanisms import MechanismSpec, get_mechanism
 from repro.mem.dram import DDR4_2400, HBM2
@@ -27,10 +36,30 @@ from repro.mmu.walker import PageTableWalker
 from repro.sim.config import SYSTEM_NDP, SystemConfig
 from repro.sim.core_model import Core
 from repro.sim.engine import SimulationEngine
+from repro.sim.scheduler import (
+    ScheduledEngine,
+    SlotSchedule,
+    TenantCoordinator,
+    quantum_chunks,
+    tenant_seed,
+)
 from repro.vm.address import HUGE_PAGE_SHIFT, PAGE_SHIFT
+from repro.vm.base import PageTable
 from repro.vm.frames import FrameAllocator
 from repro.vm.os_model import OSMemoryManager
+from repro.workloads.base import CHUNK_REFS, Workload
 from repro.workloads.registry import make_workload
+
+
+@dataclass
+class Tenant:
+    """One co-running process: private address space, shared frames."""
+
+    asid: int
+    workload_key: str
+    workload: Workload
+    page_table: PageTable
+    os: OSMemoryManager
 
 
 class System:
@@ -39,8 +68,19 @@ class System:
     def __init__(self, config: SystemConfig):
         self.config = config
         self.spec: MechanismSpec = get_mechanism(config.mechanism)
+        self.tenants: List[Tenant] = []
+        self.scheduler_stats = None
+        if config.tenants > 1:
+            self._init_tenants()
+            return
+        # tenant_workloads overrides ``workload`` for every tenant —
+        # including the degenerate 1-tenant schedule, so a config runs
+        # the workload it serializes as (grids sweep tenant counts
+        # without special-casing the 1-tenant cell).
+        workload_key = (config.tenant_workloads[0]
+                        if config.tenant_workloads else config.workload)
         self.workload = make_workload(
-            config.workload, scale=config.scale, seed=config.seed)
+            workload_key, scale=config.scale, seed=config.seed)
         self.allocator = FrameAllocator(
             config.physical_bytes,
             fragmentation=config.boot_fragmentation)
@@ -232,3 +272,198 @@ class System:
     def run(self) -> float:
         """Execute all cores to completion; return global cycles."""
         return self.engine.run()
+
+    # -- multi-tenant assembly ---------------------------------------
+
+    def _init_tenants(self) -> None:
+        """Wire a multiprogrammed machine (``config.tenants > 1``).
+
+        Per tenant: a workload stream (distinct deterministic seed), a
+        private page table and an OS view over the shared allocator.
+        Per core slot: one ASID-tagged TLB hierarchy and PWC set shared
+        by all tenant contexts on that slot, plus one walker/MMU/core
+        context per tenant.  The scheduler engine round-robins the
+        contexts with the configured quantum.
+        """
+        cfg = self.config
+        params = cfg.scheduler
+        self.coordinator = TenantCoordinator(params)
+        self.scheduler_stats = self.coordinator.stats
+        self.allocator = FrameAllocator(
+            cfg.physical_bytes, fragmentation=cfg.boot_fragmentation)
+        workload_keys = (cfg.tenant_workloads
+                         or (cfg.workload,) * cfg.tenants)
+        for asid, key in enumerate(workload_keys):
+            workload = make_workload(
+                key, scale=cfg.scale, seed=tenant_seed(cfg.seed, asid))
+            table = self.spec.build_table(self.allocator)
+            os_model = OSMemoryManager(
+                self.allocator, table,
+                policy=self.spec.paging_policy, costs=cfg.fault_costs,
+                thp_promotion_fraction=cfg.thp_promotion_fraction,
+                on_unmap=self.coordinator.unmap_hook(asid),
+                peer_reclaim=self.coordinator.peer_reclaim_hook(asid),
+                extra_fault_cycles=self.coordinator.drain_cycles)
+            self.coordinator.register_tenant(asid, os_model)
+            self.tenants.append(Tenant(asid, key, workload, table,
+                                       os_model))
+        # Single-tenant attribute surface (tenant 0's view), so tools
+        # that inspect ``system.os`` / ``system.page_table`` keep
+        # working; collect() aggregates across the full tenant list.
+        self.workload = self.tenants[0].workload
+        self.page_table = self.tenants[0].page_table
+        self.os = self.tenants[0].os
+        self.hierarchy = self._build_hierarchy()
+
+        # Streams are fed to cores in quantum-sized chunks so one
+        # ``step_chunk`` frame is one time slice on single-slot runs.
+        feed_refs = min(params.quantum_refs, CHUNK_REFS)
+        warmup = (cfg.refs_per_core if cfg.warmup_refs is None
+                  else cfg.warmup_refs)
+        total_refs = cfg.refs_per_core * cfg.num_cores * cfg.tenants
+        replay: Optional[Dict[Tuple[int, int], List[tuple]]] = None
+        if warmup == cfg.refs_per_core and total_refs <= 4_000_000:
+            replay = {(tenant.asid, slot): []
+                      for tenant in self.tenants
+                      for slot in range(cfg.num_cores)}
+        self._prefault_tenants(warmup, feed_refs, replay)
+
+        self.pwc_sets = []
+        self.mmus = []
+        self.cores = []
+        slots: List[SlotSchedule] = []
+        for slot_id in range(cfg.num_cores):
+            tlbs = self._build_tlbs(slot_id)
+            self.coordinator.register_slot(tlbs)
+            if self.spec.pwc_levels:
+                pwcs: Optional[PwcSet] = PwcSet(
+                    self.spec.pwc_levels, entries=cfg.pwc.entries,
+                    associativity=cfg.pwc.associativity,
+                    latency=cfg.pwc.latency)
+            else:
+                pwcs = None
+            slot_cores: List[Core] = []
+            for tenant in self.tenants:
+                walker = PageTableWalker(
+                    tenant.page_table, self.hierarchy, slot_id,
+                    pwcs=pwcs, bypass=self.spec.build_bypass(),
+                    asid=tenant.asid)
+                mmu = Mmu(slot_id, tlbs, walker, tenant.os,
+                          ideal=self.spec.ideal, asid=tenant.asid)
+                if replay is not None:
+                    source = iter(replay[(tenant.asid, slot_id)])
+                else:
+                    source = tenant.workload.stream_chunks(
+                        slot_id, cfg.refs_per_core,
+                        chunk_refs=feed_refs)
+                # Align chunk boundaries to quantum multiples so the
+                # single-slot engine's whole-chunk slices are exact
+                # quanta even when the quantum exceeds the generation
+                # batch (matching the heap path's per-ref counting).
+                chunks = quantum_chunks(source, params.quantum_refs)
+                core = Core(slot_id, mmu, self.hierarchy, None,
+                            gap_cycles=tenant.workload.gap_cycles,
+                            mlp=cfg.core.mlp,
+                            issue_cycles=cfg.core.issue_cycles,
+                            chunks=chunks)
+                slot_cores.append(core)
+                self.mmus.append(mmu)
+                self.cores.append(core)
+            self.pwc_sets.append(pwcs)
+            slots.append(SlotSchedule(slot_id, slot_cores, tlbs, pwcs))
+        self.engine = ScheduledEngine(slots, params, self.coordinator)
+
+    def _prefault_tenants(self, warmup: int, feed_refs: int,
+                          replay) -> None:
+        """Untimed multi-tenant warmup.
+
+        Interleaves all (tenant, slot) streams in 256-reference quanta
+        through each tenant's own fault path, so the shared frame pool
+        fills — and fragments, and comes under cross-tenant pressure —
+        in an order resembling the scheduled run.  Fault counters and
+        scheduler accounting are reset afterwards: warmup is setup, not
+        region-of-interest.
+        """
+        if warmup <= 0:
+            return
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            self._prefault_tenants_inner(warmup, feed_refs, replay)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        for tenant in self.tenants:
+            tenant.os.stats = type(tenant.os.stats)()
+        self.coordinator.reset()
+
+    def _prefault_tenants_inner(self, warmup: int, feed_refs: int,
+                                replay) -> None:
+        cfg = self.config
+        tenants = self.tenants
+        pairs = [(tenant, slot)
+                 for slot in range(cfg.num_cores)
+                 for tenant in tenants]
+
+        def make_iter(tenant: Tenant, slot: int):
+            source = tenant.workload.stream_chunks(
+                slot, warmup, chunk_refs=feed_refs)
+            if replay is None:
+                return source
+            record = replay[(tenant.asid, slot)]
+
+            def recording():
+                for chunk in source:
+                    record.append(chunk)
+                    yield chunk
+            return recording()
+
+        chunk_iters = {(t.asid, s): make_iter(t, s) for t, s in pairs}
+        buffers: Dict[Tuple[int, int], List[int]] = {
+            (t.asid, s): [] for t, s in pairs}
+        positions = {(t.asid, s): 0 for t, s in pairs}
+        # Repeat touches of a mapped page are no-ops until the first
+        # reclaim anywhere: once any tenant starts evicting (its own
+        # pages or a peer's), previously seen pages may need re-faulting
+        # and every touch goes through the full path again.
+        seen: Optional[Dict[Tuple[int, int], set]] = {
+            (t.asid, s): set() for t, s in pairs}
+        active = list(pairs)
+        while active:
+            still_active = []
+            for tenant, slot in active:
+                pair = (tenant.asid, slot)
+                ensure_mapped = tenant.os.ensure_mapped
+                addrs = buffers[pair]
+                pos = positions[pair]
+                quota = 256
+                exhausted = False
+                while quota:
+                    if pos >= len(addrs):
+                        nxt = next(chunk_iters[pair], None)
+                        if nxt is None:
+                            exhausted = True
+                            break
+                        addrs = buffers[pair] = nxt[0]
+                        pos = 0
+                    stop = min(pos + quota, len(addrs))
+                    pair_seen = None if seen is None else seen[pair]
+                    for vaddr in addrs[pos:stop]:
+                        if pair_seen is not None:
+                            page = vaddr >> PAGE_SHIFT
+                            if page in pair_seen:
+                                continue
+                            pair_seen.add(page)
+                        cost = ensure_mapped(vaddr, site=slot)
+                        if (cost and seen is not None
+                                and any(t.os.stats.reclaims
+                                        for t in tenants)):
+                            seen = None
+                            pair_seen = None
+                    quota -= stop - pos
+                    pos = stop
+                positions[pair] = pos
+                if not exhausted:
+                    still_active.append((tenant, slot))
+            active = still_active

@@ -38,6 +38,22 @@ _LEVEL_MASK = ENTRIES_PER_NODE - 1
 _FLAT_MASK = FLAT_ENTRIES - 1
 VA_MASK = (1 << VA_BITS) - 1
 
+# ASID tagging (multi-process) -----------------------------------------------
+# VPNs occupy VA_BITS - PAGE_SHIFT = 36 bits, so an address-space id
+# packed at bit 40 (a few bits of headroom) turns a (asid, vpn) pair
+# into a single int that drops into the existing TLB/PWC integer keys.
+# ASID 0 tags to 0, keeping single-address-space keys — and the
+# allocation-free fast path built on them — bit-identical.
+ASID_SHIFT = VA_BITS - PAGE_SHIFT + 4   # 40
+ASID_KEY_MASK = (1 << ASID_SHIFT) - 1   # strips the tag back off
+
+
+def asid_tag(asid: int) -> int:
+    """Key-space tag for address space ``asid`` (0 stays 0)."""
+    if asid < 0:
+        raise ValueError("asid must be non-negative")
+    return asid << ASID_SHIFT
+
 
 def page_offset(vaddr: int) -> int:
     """Offset of ``vaddr`` within its 4 KB page."""

@@ -132,6 +132,24 @@ class FrameAllocator:
         return self.free_frames - len(self._free_blocks) * FRAMES_PER_BLOCK
 
     @property
+    def free_fraction(self) -> float:
+        """Fraction of all physical frames currently free."""
+        if self.num_frames == 0:
+            return 0.0
+        return self.free_frames / self.num_frames
+
+    @property
+    def pressure(self) -> float:
+        """Occupied fraction of physical memory (0 idle .. 1 full).
+
+        Under multiprogramming this is the contention signal tenants
+        share: every tenant's faults drain the same pool, so pressure
+        approaching 1 means reclaim — and cross-tenant reclaim — is
+        imminent for all of them.
+        """
+        return 1.0 - self.free_fraction
+
+    @property
     def movable_scattered_frames(self) -> int:
         """Scattered free frames compaction could actually coalesce.
 

@@ -78,18 +78,39 @@ class _FrameRecord:
 
 
 class OSMemoryManager:
-    """Demand paging + huge-page policy over one shared page table."""
+    """Demand paging + huge-page policy over one page table.
+
+    Under multiprogramming each tenant process gets its own manager
+    (private page table and reclaim list) over the *shared*
+    :class:`FrameAllocator`; three optional hooks wire the managers
+    together without changing single-process behaviour:
+
+    * ``on_unmap(page, huge)`` — called after reclaim unmaps a page,
+      so the system can run a TLB shootdown for it;
+    * ``peer_reclaim()`` — called when this tenant has nothing left to
+      evict; returns True if memory was reclaimed from another tenant
+      (cross-tenant pressure), letting the allocation retry instead of
+      dying on OOM;
+    * ``extra_fault_cycles()`` — drained into the cycles returned by
+      :meth:`ensure_translated`, charging shootdown costs to the core
+      whose fault triggered the reclaim.
+    """
 
     def __init__(self, allocator: FrameAllocator, page_table: PageTable,
                  policy: PagingPolicy = PagingPolicy.SMALL,
                  costs: FaultCosts = FaultCosts(),
-                 thp_promotion_fraction: float = 1.0):
+                 thp_promotion_fraction: float = 1.0,
+                 on_unmap=None, peer_reclaim=None,
+                 extra_fault_cycles=None):
         if not 0.0 <= thp_promotion_fraction <= 1.0:
             raise ValueError("thp_promotion_fraction must be in [0, 1]")
         self.allocator = allocator
         self.page_table = page_table
         self.policy = policy
         self.costs = costs
+        self._on_unmap = on_unmap
+        self._peer_reclaim = peer_reclaim
+        self._extra_fault_cycles = extra_fault_cycles
         #: Fraction of huge-eligible regions the THP machinery actually
         #: backs with 2 MB pages.  Linux promotes lazily (khugepaged)
         #: and demotes under pressure; Ingens (the paper's [23]) shows
@@ -139,6 +160,10 @@ class OSMemoryManager:
         else:
             cycles = self._fault_small(page, site)
         cycles += self._charge_rehash()
+        if self._extra_fault_cycles is not None:
+            # Shootdown IPIs etc. raised by reclaim during this fault,
+            # charged to the faulting core (multi-tenant only).
+            cycles += self._extra_fault_cycles()
         self.stats.fault_cycles += cycles
         return self.page_table.lookup(page), cycles
 
@@ -171,6 +196,22 @@ class OSMemoryManager:
             except OutOfMemoryError:
                 self._reclaim_one()
 
+    @property
+    def resident_records(self) -> int:
+        """Length of the reclaim list — an upper bound on evictable
+        mappings (stale records included), used by the cross-tenant
+        coordinator to rank eviction victims."""
+        return len(self._lru_frames)
+
+    def reclaim_one(self) -> None:
+        """Evict one mapping to free physical memory.
+
+        Public entry point for external reclaimers (the cross-tenant
+        coordinator evicting from a victim process); raises
+        :class:`OutOfMemoryError` when nothing is reclaimable.
+        """
+        self._reclaim_one()
+
     def _reclaim_one(self) -> None:
         """Evict the oldest mapping (FIFO) to free physical memory.
 
@@ -192,6 +233,8 @@ class OSMemoryManager:
                 self.allocator.free_frame(record.frame)
                 self.stats.reclaims += 1
                 self.stats.fault_cycles += self.costs.reclaim_cycles
+                if self._on_unmap is not None:
+                    self._on_unmap(record.page, False)
                 return
             for record in huge_skipped:
                 if self.page_table.lookup(record.page) is None:
@@ -201,6 +244,12 @@ class OSMemoryManager:
                 self.allocator.free_block(record.frame)
                 self.stats.reclaims += 1
                 self.stats.fault_cycles += 4 * self.costs.reclaim_cycles
+                if self._on_unmap is not None:
+                    self._on_unmap(record.page, True)
+                return
+            # Own address space exhausted: under multiprogramming, lean
+            # on a co-tenant before declaring the machine out of memory.
+            if self._peer_reclaim is not None and self._peer_reclaim():
                 return
             raise OutOfMemoryError("nothing reclaimable: memory exhausted")
         finally:

@@ -20,7 +20,7 @@ A workload exposes:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterator, List, NamedTuple, Tuple
+from typing import Iterator, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
@@ -145,7 +145,8 @@ class Workload(ABC):
         core's stream is a coherent traversal, not a bag of samples.
         """
 
-    def stream_chunks(self, core_id: int, num_refs: int
+    def stream_chunks(self, core_id: int, num_refs: int,
+                      chunk_refs: Optional[int] = None
                       ) -> Iterator[Tuple[List[int], List[bool]]]:
         """Deterministic reference stream, handed over in whole chunks.
 
@@ -155,15 +156,23 @@ class Workload(ABC):
         resumptions or tuple allocations.  Cores sharing a workload
         instance traverse the same dataset with different seeds (the
         paper's multithreaded execution model).
+
+        ``chunk_refs`` overrides the default batch size: the scheduler
+        feeds cores quantum-sized chunks so a time slice is a whole
+        number of ``step_chunk`` frames.  Batch size shapes the RNG
+        draw sequence, so a re-chunked stream is a *different* (equally
+        deterministic) reference sequence — single-process runs always
+        use the default and are unaffected.
         """
         rng = np.random.default_rng(
             (self.seed * 1_000_003 + core_id) & 0xFFFFFFFF)
         state: dict = {"core_id": core_id}
         private = self.private_region(core_id)
         private_pages = private.size // 4096
+        chunk = CHUNK_REFS if chunk_refs is None else max(1, chunk_refs)
         remaining = num_refs
         while remaining > 0:
-            batch = min(CHUNK_REFS, remaining)
+            batch = min(chunk, remaining)
             addrs, writes = self._chunk(rng, batch, state)
             if len(addrs) != batch or len(writes) != batch:
                 raise AssertionError(

@@ -60,3 +60,38 @@ class TestSpeedupDrivers:
             scale=1 / 64)
         assert {"radix", "ndpage", "ndpage-bypass-only"} \
             <= set(table["rnd"])
+
+
+class TestTenantInterference:
+    def test_interference_table_shape(self):
+        table = experiments.tenant_interference(
+            workload="rnd", mechanisms=("radix", "ndpage"),
+            tenant_counts=(1, 2), refs_per_core=400, scale=1 / 64)
+        assert set(table) == {"radix", "ndpage"}
+        row = table["radix"]
+        assert row["1t x"] == 1.0
+        assert row["1t cpr"] > 0
+        assert row["2t cpr"] > 0
+        # Co-runners can only add cost (switches at minimum).
+        assert row["2t x"] >= 1.0
+
+    def test_interference_through_runner(self, tmp_path):
+        from repro.sim.sweep import SweepRunner
+        runner = SweepRunner(jobs=1, cache_dir=str(tmp_path))
+        first = experiments.tenant_interference(
+            workload="rnd", mechanisms=("radix",), tenant_counts=(1, 2),
+            refs_per_core=400, scale=1 / 64, runner=runner)
+        assert runner.last_stats.simulated == 2
+        second = experiments.tenant_interference(
+            workload="rnd", mechanisms=("radix",), tenant_counts=(1, 2),
+            refs_per_core=400, scale=1 / 64, runner=runner)
+        assert runner.last_stats.simulated == 0  # fully cache-served
+        assert first == second
+
+    def test_baseline_is_lowest_tenant_count_regardless_of_order(self):
+        table = experiments.tenant_interference(
+            workload="rnd", mechanisms=("radix",),
+            tenant_counts=(2, 1), refs_per_core=400, scale=1 / 64)
+        row = table["radix"]
+        assert row["1t x"] == 1.0
+        assert row["2t x"] >= 1.0

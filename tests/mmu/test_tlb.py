@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.mmu.tlb import Tlb, TlbHierarchy, build_table1_tlbs
-from repro.vm.address import HUGE_PAGE_SHIFT, PAGE_SHIFT
+from repro.vm.address import HUGE_PAGE_SHIFT, PAGE_SHIFT, asid_tag
 from repro.vm.base import Translation
 
 SMALL = Translation(100, PAGE_SHIFT)
@@ -160,3 +160,66 @@ class TestReinsertRecency:
         tlb.insert(5, Translation(1, 12))
         tlb.insert(5, Translation(9, 12))
         assert tlb.lookup(5).pfn == 9
+
+
+class TestAsidTagging:
+    """Multi-process keys: tagged coexistence, targeted shootdowns."""
+
+    def test_same_vpn_different_asids_coexist(self):
+        tlbs = build_table1_tlbs()
+        page = 0x4_2000
+        for asid, pfn in ((0, 10), (1, 11), (2, 12)):
+            tlbs.insert(page | asid_tag(asid), Translation(pfn, 12))
+        for asid, pfn in ((0, 10), (1, 11), (2, 12)):
+            hit, _ = tlbs.lookup(page | asid_tag(asid))
+            assert hit is not None and hit.pfn == pfn
+
+    def test_asid_zero_tag_is_identity(self):
+        assert asid_tag(0) == 0
+
+    def test_tag_never_moves_the_set(self):
+        """Set index comes from VPN bits only (power-of-two sets)."""
+        tlb = Tlb("t", entries=64, associativity=4, latency=1)
+        page = 0x1234
+        assert (page | asid_tag(3)) % tlb.num_sets \
+            == page % tlb.num_sets
+
+    def test_invalidate_page_hits_only_the_tagged_asid(self):
+        tlbs = build_table1_tlbs()
+        page = 0x77
+        tlbs.insert(page | asid_tag(1), Translation(1, 12))
+        tlbs.insert(page | asid_tag(2), Translation(2, 12))
+        assert tlbs.invalidate_page(page | asid_tag(1))
+        assert tlbs.lookup(page | asid_tag(1))[0] is None
+        assert tlbs.lookup(page | asid_tag(2))[0] is not None
+
+    def test_invalidate_page_clears_l1_and_l2(self):
+        tlbs = build_table1_tlbs()
+        key = 0x55 | asid_tag(1)
+        tlbs.l1_small.insert(key, Translation(5, 12))
+        tlbs.l2.insert(key, Translation(5, 12))
+        assert tlbs.invalidate_page(key)
+        assert tlbs.l1_small.occupancy == 0
+        assert tlbs.l2.occupancy == 0
+
+    def test_invalidate_huge_mapping(self):
+        tlbs = build_table1_tlbs()
+        base_page = 512  # 2 MB-aligned VPN
+        key = base_page | asid_tag(1)
+        tlbs.insert(key, Translation(3, HUGE_PAGE_SHIFT))
+        assert tlbs.invalidate_page(key, huge=True)
+        assert tlbs.l1_huge.occupancy == 0
+
+    def test_invalidate_missing_returns_false(self):
+        tlbs = build_table1_tlbs()
+        assert not tlbs.invalidate_page(0x99 | asid_tag(4))
+
+    def test_flush_counts(self):
+        tlbs = build_table1_tlbs()
+        tlbs.flush()
+        assert tlbs.l1_small.flushes == 1
+        assert tlbs.l2.flushes == 1
+
+    def test_negative_asid_rejected(self):
+        with pytest.raises(ValueError):
+            asid_tag(-1)

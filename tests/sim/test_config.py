@@ -10,6 +10,7 @@ import pytest
 from repro.sim.config import (
     DEFAULT_SCALE,
     CacheParams,
+    SchedulerParams,
     SystemConfig,
     cpu_config,
     ndp_config,
@@ -129,6 +130,76 @@ class TestSerialization:
         import pickle
         cfg = ndp_config(workload="xs", num_cores=4)
         assert pickle.loads(pickle.dumps(cfg)) == cfg
+
+
+class TestVersionedFields:
+    """Fields added after the cache format shipped (the tenants axis)
+    must round-trip — and, while default-valued, must not perturb the
+    serialized form or any existing cache key."""
+
+    #: Cache keys of two representative configs, computed at PR 2 (the
+    #: release that froze the cache-key scheme).  If adding a config
+    #: field moves these, every cached result silently invalidates —
+    #: omit the field from to_dict() at its default instead.
+    PR2_KEYS = {
+        "ndp_default": "793ac0269636cdc2c58136bc269297bee4dc6a2a",
+        "cpu_bfs": "afa774d1667a7ad5aa169d1d0e1fef7aee3bc44d",
+    }
+
+    def test_default_valued_new_fields_keep_pr2_cache_keys(self):
+        from repro.analysis.cache import config_key
+        assert config_key(ndp_config()) == self.PR2_KEYS["ndp_default"]
+        assert config_key(cpu_config(
+            workload="bfs", mechanism="ndpage", num_cores=4,
+            refs_per_core=3000, scale=1 / 64, seed=7,
+        )) == self.PR2_KEYS["cpu_bfs"]
+
+    def test_default_valued_new_fields_omitted_from_to_dict(self):
+        data = ndp_config().to_dict()
+        assert "tenants" not in data
+        assert "tenant_workloads" not in data
+        assert "scheduler" not in data
+
+    def test_non_default_new_fields_serialized(self):
+        cfg = ndp_config(tenants=2,
+                         scheduler=SchedulerParams(quantum_refs=512))
+        data = cfg.to_dict()
+        assert data["tenants"] == 2
+        assert data["scheduler"]["quantum_refs"] == 512
+
+    def test_new_fields_round_trip_exact(self):
+        cfg = ndp_config(tenants=3, tenant_workloads=("bfs", "xs",
+                                                      "rnd"),
+                         scheduler=SchedulerParams(
+                             quantum_refs=512, max_asids=2,
+                             context_switch_cycles=9000,
+                             shootdown_cycles=1111,
+                             flush_on_switch=True))
+        assert SystemConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_new_fields_round_trip_through_json(self):
+        import json
+        cfg = ndp_config(tenants=2, tenant_workloads=("bfs", "xs"))
+        rebuilt = SystemConfig.from_dict(
+            json.loads(json.dumps(cfg.to_dict())))
+        assert rebuilt == cfg
+        assert rebuilt.tenant_workloads == ("bfs", "xs")  # tuple again
+        assert hash(rebuilt) == hash(cfg)
+
+    def test_canonical_json_distinguishes_tenant_counts(self):
+        base = ndp_config()
+        assert base.canonical_json() \
+            != ndp_config(tenants=2).canonical_json()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ndp_config(tenants=0)
+        with pytest.raises(ValueError):
+            ndp_config(tenants=2, tenant_workloads=("bfs",))
+        with pytest.raises(ValueError):
+            SchedulerParams(quantum_refs=0)
+        with pytest.raises(ValueError):
+            SchedulerParams(max_asids=0)
 
 
 class TestCrossProcessHash:

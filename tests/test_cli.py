@@ -93,3 +93,27 @@ class TestCommands:
         assert "sweep:" in capsys.readouterr().out
         assert main(argv) == 0
         assert "0 simulated" in capsys.readouterr().out
+
+
+class TestTenantSurface:
+    def test_run_accepts_tenants_and_quantum(self, capsys):
+        assert main(["run", "--workload", "rnd", "--cores", "1",
+                     "--refs", "400", "--tenants", "2",
+                     "--quantum", "128"]) == 0
+        assert "cycles" in capsys.readouterr().out
+
+    def test_sweep_accepts_tenants(self, capsys):
+        assert main(["sweep", "--workloads", "rnd",
+                     "--mechanisms", "radix", "--cores", "1",
+                     "--refs", "300", "--tenants", "2"]) == 0
+        assert "1 cells" in capsys.readouterr().out
+
+    def test_interference_figure(self, capsys):
+        assert main(["figure", "interference", "--refs", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "mechanism" in out
+        assert "2t x" in out
+
+    def test_tenants_default_is_single_process(self):
+        args = build_parser().parse_args(["run"])
+        assert args.tenants == 1

@@ -4,7 +4,7 @@ import pytest
 
 from repro.vm.address import HUGE_PAGE_SHIFT, PAGE_SIZE
 from repro.vm.cuckoo import ElasticCuckooPageTable
-from repro.vm.frames import FrameAllocator
+from repro.vm.frames import FrameAllocator, OutOfMemoryError
 from repro.vm.os_model import (
     OSMemoryManager,
     PagingPolicy,
@@ -162,6 +162,144 @@ class TestReclaim:
         for i in range(os.allocator.free_frames + 5):
             os.ensure_mapped((1 << 40) + i * PAGE_SIZE)
         assert os.stats.reclaims > 0
+
+
+class TestReclaimUnderSustainedPressure:
+    """_reclaim_one corner cases: pool exhaustion, promotion-then-
+    reclaim interleavings, stale records, and the reclaim hooks."""
+
+    def test_sustained_pressure_is_stable(self):
+        """Faulting far past capacity keeps working set-sized memory
+        resident and never leaks frames."""
+        os = make_os(phys=4 * MIB)
+        capacity = os.allocator.num_frames
+        for i in range(3 * capacity):
+            os.ensure_mapped(i * PAGE_SIZE)
+        assert os.stats.reclaims >= 2 * capacity - 100
+        # Conservation: every frame is either mapped or free.
+        assert os.allocator.free_frames >= 0
+        assert os.page_table.mapped_pages <= capacity
+        # FIFO: the newest pages survive, the oldest are gone.
+        assert os.page_table.lookup(3 * capacity - 1) is not None
+        assert os.page_table.lookup(0) is None
+
+    def test_refault_reclaim_cycle_converges(self):
+        """Ping-ponging over a 2x-capacity working set churns but
+        every touch still lands a mapping."""
+        os = make_os(phys=4 * MIB)
+        working_set = 2 * os.allocator.num_frames
+        for _ in range(3):
+            for i in range(working_set):
+                os.ensure_mapped(i * PAGE_SIZE)
+                assert os.page_table.lookup(i) is not None
+
+    def test_stale_records_skipped(self):
+        """A record whose page was unmapped behind the OS's back (a
+        peer's cross-tenant reclaim does this) must be skipped, not
+        double-freed."""
+        os = make_os()
+        os.ensure_mapped(0)
+        os.ensure_mapped(PAGE_SIZE)
+        os.page_table.unmap_page(0)  # page 0's record is now stale
+        frees_before = os.allocator.stats.frees
+        os._reclaim_one()
+        # Exactly one frame came back, and it was page 1's — the
+        # stale page-0 record freed nothing.
+        assert os.allocator.stats.frees == frees_before + 1
+        assert os.page_table.lookup(PAGE_SIZE >> 12) is None
+        assert os.stats.reclaims == 1
+
+    def test_promotion_then_reclaim_interleaving(self):
+        """Huge faults racing small faults under exhaustion: small
+        pages are evicted first, huge blocks only as a last resort,
+        and broken-up blocks replenish the contiguity pool."""
+        os = make_os(phys=8 * MIB, policy=PagingPolicy.HUGE)
+        region = 0
+        # Alternate huge-region touches with 4 KB touches in fallback
+        # regions until the whole pool has turned over once.
+        os._fallback_regions.add(10_000)  # force a 4 KB arena
+        small_base = region_base_page(10_000) * PAGE_SIZE
+        touched_small = 0
+        capacity = os.allocator.num_frames
+        while os.stats.reclaims < 20:
+            os.ensure_mapped(region * (1 << HUGE_PAGE_SHIFT))
+            region += 1
+            for _ in range(64):
+                os.ensure_mapped(small_base
+                                 + touched_small * PAGE_SIZE)
+                touched_small += 1
+            assert touched_small < 2 * capacity, \
+                "pressure never produced reclaim"
+        # Both kinds were created, and memory stayed consistent.
+        assert os.stats.huge_faults > 0
+        assert os.stats.minor_faults > 0
+        assert os.allocator.free_frames >= 0
+
+    def test_huge_breakup_returns_whole_block(self):
+        os = make_os(phys=8 * MIB, policy=PagingPolicy.HUGE)
+        region = 0
+        while os.allocator.free_block_count:
+            os.ensure_mapped(region * (1 << HUGE_PAGE_SHIFT))
+            region += 1
+        # Drop the small-page records so only huge mappings remain,
+        # then force a reclaim: a whole 2 MB block must come back.
+        os._lru_frames = type(os._lru_frames)(
+            r for r in os._lru_frames if r.huge)
+        fault_cycles_before = os.stats.fault_cycles
+        os._reclaim_one()
+        assert os.allocator.free_block_count >= 1
+        assert os.stats.fault_cycles - fault_cycles_before \
+            == 4 * os.costs.reclaim_cycles
+
+    def test_exhaustion_raises_when_nothing_reclaimable(self):
+        os = make_os(phys=4 * MIB)
+        for i in range(100):
+            os.ensure_mapped(i * PAGE_SIZE)
+        os._lru_frames.clear()   # nothing left to evict
+        with pytest.raises(OutOfMemoryError):
+            while True:
+                os._reclaim_one()
+
+    def test_on_unmap_hook_sees_each_eviction(self):
+        events = []
+        allocator = FrameAllocator(4 * MIB)
+        table = RadixPageTable(allocator)
+        os = OSMemoryManager(allocator, table,
+                             on_unmap=lambda page, huge:
+                             events.append((page, huge)))
+        for i in range(allocator.num_frames + 20):
+            os.ensure_mapped(i * PAGE_SIZE)
+        assert len(events) == os.stats.reclaims > 0
+        assert all(not huge for _, huge in events)
+        # FIFO order: evictions follow touch order.
+        pages = [page for page, _ in events]
+        assert pages == sorted(pages)
+
+    def test_peer_reclaim_consulted_before_oom(self):
+        calls = []
+        allocator = FrameAllocator(4 * MIB)
+        table = RadixPageTable(allocator)
+        other = OSMemoryManager(allocator, RadixPageTable(allocator))
+        # Give the peer something to give up.
+        other.ensure_mapped(0)
+
+        def steal():
+            calls.append(True)
+            try:
+                other._reclaim_one()
+            except OutOfMemoryError:
+                return False
+            return True
+
+        os = OSMemoryManager(allocator, table, peer_reclaim=steal)
+        page = 0
+        while allocator.free_frames > 0:
+            os.ensure_mapped(page * PAGE_SIZE)
+            page += 1
+        os._lru_frames.clear()
+        os.ensure_mapped(page * PAGE_SIZE)  # must not raise
+        assert calls
+        assert other.page_table.lookup(0) is None
 
 
 class TestEchRehashCharging:
