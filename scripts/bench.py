@@ -64,26 +64,32 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.sim.config import ndp_config  # noqa: E402
+from repro.sim.config import NumaParams, ndp_config  # noqa: E402
 from repro.sim.runner import run_once  # noqa: E402
 from repro.sim.sweep import SweepRunner, expand_grid  # noqa: E402
 
 #: The benchmark suite: walker-heavy baseline, graph traversal, the
-#: paper's mechanism, and a two-tenant schedule (the multi-process
-#: scheduler + ASID-tagged-TLB path).  Single-core on purpose — the
-#: per-reference path is what this harness tracks; the engine's
-#: multi-core interleaving is covered by the figure benchmarks.
+#: paper's mechanism, a two-tenant schedule (the multi-process
+#: scheduler + ASID-tagged-TLB path), and a two-node NUMA interleave
+#: (per-node DRAM routing + remote-distance charging on the miss
+#: path).  Single-core on purpose — the per-reference path is what
+#: this harness tracks; the engine's multi-core interleaving is
+#: covered by the figure benchmarks.
 SUITE = (
     {"name": "rnd-radix", "workload": "rnd", "mechanism": "radix"},
     {"name": "bfs-radix", "workload": "bfs", "mechanism": "radix"},
     {"name": "xs-ndpage", "workload": "xs", "mechanism": "ndpage"},
     {"name": "xs-radix-2t", "workload": "xs", "mechanism": "radix",
      "tenants": 2},
+    {"name": "rnd-radix-2n", "workload": "rnd", "mechanism": "radix",
+     "nodes": 2, "placement": "interleave"},
 )
 
 
 def bench_config(entry: dict, refs: int, scale: float, seed: int = 42):
     """Build the SystemConfig for one suite entry."""
+    numa = NumaParams(nodes=entry.get("nodes", 1),
+                      placement=entry.get("placement", "local"))
     return ndp_config(
         workload=entry["workload"],
         mechanism=entry["mechanism"],
@@ -92,6 +98,7 @@ def bench_config(entry: dict, refs: int, scale: float, seed: int = 42):
         scale=scale,
         seed=seed,
         tenants=entry.get("tenants", 1),
+        numa=numa,
     )
 
 
@@ -151,6 +158,7 @@ def run_suite(refs: int, scale: float, seed: int = 42,
             "mechanism": entry["mechanism"],
             "num_cores": config.num_cores,
             "tenants": config.tenants,
+            "nodes": config.numa.nodes,
             "references": result.references,
             "wall_seconds": round(wall, 4),
             "refs_per_sec": round(refs_per_sec, 1),

@@ -21,6 +21,8 @@ from repro.analysis.metrics import average_speedups, mean, speedup_table
 from repro.core.mechanisms import PAPER_MECHANISMS
 from repro.sim.config import (
     DEFAULT_SCALE,
+    PLACEMENT_POLICIES,
+    NumaParams,
     SystemConfig,
     cpu_config,
     ndp_config,
@@ -298,6 +300,64 @@ def tenant_interference(workload: str = "xs",
             row[f"{tenants}t shoot"] = result.extras.get(
                 "shootdowns", 0.0)
         table[mechanism] = row
+    return table
+
+
+def numa_placement(workload: str = "rnd",
+                   mechanisms: Sequence[str] = (
+                       "radix", "ech", "hugepage", "ndpage"),
+                   node_counts: Sequence[int] = (1, 2, 4),
+                   placements: Sequence[str] = PLACEMENT_POLICIES,
+                   num_cores: int = 2,
+                   refs_per_core: int = DEFAULT_REFS,
+                   scale: float = DEFAULT_SCALE,
+                   seed: int = 42,
+                   runner: Optional[SweepRunner] = None
+                   ) -> Dict[str, Dict[str, float]]:
+    """Each mechanism x placement policy under 1/2/4 NUMA nodes.
+
+    Every cell splits physical memory into per-node frame pools with
+    distance-dependent DRAM latency and runs the placement policy end
+    to end (``local`` / ``interleave`` / ``preferred-node`` /
+    ``pte-local``).  Rows are ``mechanism/placement``; per node count
+    the table reports cycles-per-reference, its degradation relative
+    to the same row at the smallest node count (the flat machine when
+    1 is in the grid), and the fraction of DRAM reads that paid
+    cross-node distance — the knob that separates translation
+    mechanisms once page-table pages can land remotely.  Single-node cells are
+    placement-independent, collapse to the default flat config (cache
+    keys shared with every other figure) and dedup inside the sweep.
+    """
+    grid = [(mechanism, placement, nodes)
+            for mechanism in mechanisms
+            for placement in placements
+            for nodes in node_counts]
+    results = _sweep(
+        [ndp_config(workload=workload, mechanism=mechanism,
+                    num_cores=num_cores, refs_per_core=refs_per_core,
+                    scale=scale, seed=seed,
+                    # Single-node cells normalize to the flat default
+                    # inside NumaParams, so they dedup across
+                    # placements and with every other figure's cells.
+                    numa=NumaParams(nodes=nodes, placement=placement))
+         for mechanism, placement, nodes in grid], runner)
+    by_cell = {cell: result for cell, result in zip(grid, results)}
+    base_nodes = min(node_counts)
+    table: Dict[str, Dict[str, float]] = {}
+    for mechanism in mechanisms:
+        for placement in placements:
+            row: Dict[str, float] = {}
+            base = by_cell[(mechanism, placement, base_nodes)]
+            base_cpr = base.cycles / max(1, base.references)
+            for nodes in node_counts:
+                result = by_cell[(mechanism, placement, nodes)]
+                cpr = result.cycles / max(1, result.references)
+                row[f"{nodes}n cpr"] = cpr
+                row[f"{nodes}n x"] = (cpr / base_cpr if base_cpr
+                                      else 0.0)
+                row[f"{nodes}n rem"] = result.extras.get(
+                    "remote_fraction", 0.0)
+            table[f"{mechanism}/{placement}"] = row
     return table
 
 

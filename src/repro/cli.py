@@ -29,13 +29,26 @@ from repro.analysis import experiments
 from repro.analysis.cache import ResultCache
 from repro.analysis.tables import format_mapping_table, format_table
 from repro.core.mechanisms import MECHANISMS, PAPER_MECHANISMS
-from repro.sim.config import SchedulerParams, cpu_config, ndp_config
+from repro.sim.config import (
+    PLACEMENT_POLICIES,
+    NumaParams,
+    SchedulerParams,
+    cpu_config,
+    ndp_config,
+)
 from repro.sim.runner import run_mechanisms, run_once
 from repro.sim.sweep import SweepRunner, expand_grid
 from repro.workloads.registry import ALL_WORKLOADS, workload_table
 
 FIGURES = ("fig4", "fig5", "fig6", "fig7", "fig8", "fig10",
-           "fig12", "fig13", "fig14", "interference")
+           "fig12", "fig13", "fig14", "interference", "numa")
+
+
+def _numa_from(args) -> NumaParams:
+    """NUMA axis from --nodes/--placement.  NumaParams itself
+    normalizes the single-node case back to the flat default, so
+    `--nodes 1 --placement interleave` cannot perturb cache keys."""
+    return NumaParams(nodes=args.nodes, placement=args.placement)
 
 
 def _config_from(args):
@@ -44,7 +57,7 @@ def _config_from(args):
     return factory(workload=args.workload, mechanism=args.mechanism,
                    num_cores=args.cores, refs_per_core=args.refs,
                    seed=args.seed, tenants=args.tenants,
-                   scheduler=scheduler)
+                   scheduler=scheduler, numa=_numa_from(args))
 
 
 def _add_common(parser):
@@ -63,6 +76,15 @@ def _add_common(parser):
     parser.add_argument("--quantum", type=int,
                         default=SchedulerParams().quantum_refs,
                         help="scheduler time slice in references")
+    _add_numa_opts(parser)
+
+
+def _add_numa_opts(parser):
+    parser.add_argument("--nodes", type=int, default=1,
+                        help="NUMA nodes (default 1: flat machine)")
+    parser.add_argument("--placement", default="local",
+                        choices=PLACEMENT_POLICIES,
+                        help="NUMA placement policy (with --nodes > 1)")
 
 
 def _add_sweep_opts(parser):
@@ -169,6 +191,15 @@ def cmd_figure(args) -> int:
             table, columns, row_label="mechanism",
             title="Multi-tenant interference (cycles/ref, degradation "
                   "vs fewest tenants, shootdowns)"))
+    elif args.figure == "numa":
+        table = experiments.numa_placement(refs_per_core=refs,
+                                           runner=runner)
+        columns = sorted(next(iter(table.values())),
+                         key=lambda c: (int(c.split("n")[0]), c))
+        print(format_mapping_table(
+            table, columns, row_label="mechanism/placement",
+            title="NUMA placement (cycles/ref, degradation vs fewest "
+                  "nodes, remote DRAM fraction)"))
     else:  # fig12 / fig13 / fig14
         cores = {"fig12": 1, "fig13": 4, "fig14": 8}[args.figure]
         table, averages, _ = experiments.speedup_experiment(
@@ -188,7 +219,8 @@ def cmd_sweep(args) -> int:
         systems=args.systems, core_counts=args.cores,
         refs_per_core=args.refs, scale=args.scale, seed=args.seed,
         tenants=args.tenants,
-        scheduler=SchedulerParams(quantum_refs=args.quantum))
+        scheduler=SchedulerParams(quantum_refs=args.quantum),
+        numa=_numa_from(args))
     runner = _runner_from(args)
     results = runner.run(configs)
     rows = [
@@ -260,6 +292,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--quantum", type=int,
                          default=SchedulerParams().quantum_refs,
                          help="scheduler time slice in references")
+    _add_numa_opts(sweep_p)
     _add_sweep_opts(sweep_p)
     sweep_p.set_defaults(func=cmd_sweep)
 

@@ -127,6 +127,17 @@ class DramStats:
         self.queue_delay.reset()
         self.service_latency.reset()
 
+    def merge(self, other: "DramStats") -> None:
+        """Fold another device's counters in (per-node NUMA DRAMs are
+        reported as one machine-wide distribution)."""
+        for index, count in enumerate(other.kind_counts):
+            self.kind_counts[index] += count
+        self.writes += other.writes
+        self.row_hits += other.row_hits
+        self.row_misses += other.row_misses
+        self.queue_delay.merge(other.queue_delay)
+        self.service_latency.merge(other.service_latency)
+
 
 class _Bank:
     __slots__ = ("free_at", "open_row")

@@ -19,14 +19,14 @@ mechanism agnostic.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 from repro.mem.cache import (
     HIT,
     MISS_DIRTY_EVICT,
     Cache,
 )
-from repro.mem.dram import DramModel, DramTiming
+from repro.mem.dram import DramModel, DramStats, DramTiming
 from repro.mem.interconnect import MeshInterconnect
 from repro.mem.request import (
     KIND_INDEX,
@@ -34,6 +34,7 @@ from repro.mem.request import (
     MemoryRequest,
     RequestKind,
 )
+from repro.vm.address import NODE_PADDR_MASK, NODE_PADDR_SHIFT
 
 
 @dataclass(slots=True)
@@ -43,11 +44,15 @@ class HierarchyStats:
     accesses: int = 0
     l1_bypasses: int = 0
     dram_reads: int = 0
+    remote_reads: int = 0            # DRAM reads that paid node distance
+    remote_penalty_cycles: float = 0.0
 
     def reset(self) -> None:
         self.accesses = 0
         self.l1_bypasses = 0
         self.dram_reads = 0
+        self.remote_reads = 0
+        self.remote_penalty_cycles = 0.0
 
 
 class MemoryHierarchy:
@@ -55,25 +60,50 @@ class MemoryHierarchy:
 
     Args:
         l1ds: one private L1 data cache per core.
-        dram: shared main-memory model.
+        dram: main-memory model (node 0's device under NUMA).
         noc: mesh connecting cores to the memory controller.
         l2s: optional private L2 per core (CPU configuration).
         l3: optional shared last-level cache (CPU configuration).
+        node_drams: one :class:`DramModel` per NUMA node (``dram``
+            must be entry 0), or None for the flat single-node
+            machine.
+        numa_penalty: per-core rows of extra cycles by frame node
+            (``numa_penalty[core_id][node]``); required with
+            ``node_drams``.  The miss path decodes the node from the
+            physical address tag (bit 40) and charges this before the
+            remote device services the request.
     """
 
     __slots__ = ("l1ds", "l2s", "l3", "dram", "noc", "stats",
                  "_levels", "_levels_no_l1", "_noc_latency", "_line_size",
-                 "_single_level")
+                 "_single_level", "drams", "_numa_penalty")
 
     def __init__(self, l1ds: List[Cache], dram: DramModel,
                  noc: MeshInterconnect, l2s: Optional[List[Cache]] = None,
-                 l3: Optional[Cache] = None):
+                 l3: Optional[Cache] = None,
+                 node_drams: Optional[List[DramModel]] = None,
+                 numa_penalty: Optional[
+                     Sequence[Sequence[float]]] = None):
         if l2s is not None and len(l2s) != len(l1ds):
             raise ValueError("need one L2 per core when L2s are present")
+        if (node_drams is None) != (numa_penalty is None):
+            raise ValueError("node_drams and numa_penalty come together")
+        if node_drams is not None:
+            if node_drams[0] is not dram:
+                raise ValueError("dram must be node 0's device")
+            if len(numa_penalty) != len(l1ds) or any(
+                    len(row) != len(node_drams)
+                    for row in numa_penalty):
+                raise ValueError(
+                    "numa_penalty must be num_cores x num_nodes")
         self.l1ds = l1ds
         self.l2s = l2s
         self.l3 = l3
         self.dram = dram
+        self.drams = node_drams
+        self._numa_penalty: Optional[Tuple[Tuple[float, ...], ...]] = (
+            tuple(tuple(float(p) for p in row) for row in numa_penalty)
+            if numa_penalty is not None else None)
         self.noc = noc
         self.stats = HierarchyStats()
         # Per-core cache-level tuples, precomputed once: the hierarchy's
@@ -168,7 +198,7 @@ class MemoryHierarchy:
                         cache._policy.on_insert(cache_set, line)
                     if packed & 1:  # dirty victim
                         cache_stats.writebacks += 1
-                        dram.drain_write_fast(
+                        self._drain_writeback(
                             now + latency,
                             victim_tag * self._line_size, victim_kind)
         else:
@@ -184,18 +214,53 @@ class MemoryHierarchy:
                 if code == HIT:
                     return latency
                 if code == MISS_DIRTY_EVICT:
-                    dram.drain_write_fast(
-                        now + latency, cache.evict_tag * self._line_size,
+                    self._drain_writeback(
+                        now + latency,
+                        cache.evict_tag * self._line_size,
                         cache.evict_kind)
 
         # Full miss: traverse the mesh, access DRAM, come back.
         noc_latency = self._noc_latency[core_id]
         self.noc.traversals += 2
         latency += noc_latency
-        latency += dram.access_fast(now + latency, paddr, kind, is_write)
+        penalty_rows = self._numa_penalty
+        if penalty_rows is None:
+            latency += dram.access_fast(now + latency, paddr, kind,
+                                        is_write)
+        else:
+            # One table lookup on the miss path: decode the frame's
+            # node from the paddr tag, charge the interconnect
+            # distance for distance-penalized nodes, and let that
+            # node's banked DRAM service the (untagged) address.
+            # ``remote_reads`` counts *penalized* accesses — a
+            # zero-distance matrix makes every node local by
+            # definition.
+            node = paddr >> NODE_PADDR_SHIFT
+            penalty = penalty_rows[core_id][node]
+            if penalty:
+                stats = self.stats
+                stats.remote_reads += 1
+                stats.remote_penalty_cycles += penalty
+                latency += penalty
+            latency += self.drams[node].access_fast(
+                now + latency, paddr & NODE_PADDR_MASK, kind,
+                is_write)
         latency += noc_latency
         self.stats.dram_reads += 1
         return latency
+
+    def _drain_writeback(self, now: float, victim_paddr: int,
+                         kind: int) -> None:
+        """Route a posted write-back to its frame's DRAM device.
+
+        Posted writes occupy the owning node's banks but nobody waits
+        on them, so no distance penalty is charged (or counted).
+        """
+        if self._numa_penalty is None:
+            self.dram.drain_write_fast(now, victim_paddr, kind)
+        else:
+            self.drams[victim_paddr >> NODE_PADDR_SHIFT].drain_write_fast(
+                now, victim_paddr & NODE_PADDR_MASK, kind)
 
     def access(self, now: float, request: MemoryRequest) -> float:
         """Object-API shim over :meth:`access_fast`."""
@@ -213,9 +278,27 @@ class MemoryHierarchy:
         total = hits + misses
         return misses / total if total else 0.0
 
+    def dram_stats(self) -> DramStats:
+        """Machine-wide DRAM statistics.
+
+        The flat machine returns its single device's live stats object
+        (identical values to every earlier release); a NUMA machine
+        returns a merged view over the per-node devices.
+        """
+        if self.drams is None:
+            return self.dram.stats
+        merged = DramStats()
+        for device in self.drams:
+            merged.merge(device.stats)
+        return merged
+
     def reset_stats(self) -> None:
         self.stats.reset()
-        self.dram.stats.reset()
+        if self.drams is not None:
+            for device in self.drams:
+                device.stats.reset()
+        else:
+            self.dram.stats.reset()
         for cache in self.l1ds:
             cache.stats.reset()
         if self.l2s is not None:
@@ -225,16 +308,37 @@ class MemoryHierarchy:
             self.l3.stats.reset()
 
 
+def _node_drams(dram_timing: DramTiming, numa_nodes: int,
+                numa_penalty) -> tuple:
+    """(dram, node_drams, penalty) triple for the builders."""
+    if numa_nodes <= 1:
+        return DramModel(dram_timing), None, None
+    if numa_penalty is None:
+        raise ValueError("multi-node hierarchy needs numa_penalty")
+    drams = [DramModel(dram_timing) for _ in range(numa_nodes)]
+    return drams[0], drams, numa_penalty
+
+
 def build_ndp_hierarchy(num_cores: int, dram_timing: DramTiming,
                         l1_size: int = 32 * 1024, l1_assoc: int = 8,
-                        l1_latency: int = 4) -> MemoryHierarchy:
-    """NDP shape (Table I): private L1D per core, no L2/L3, HBM2."""
+                        l1_latency: int = 4,
+                        numa_nodes: int = 1,
+                        numa_penalty=None) -> MemoryHierarchy:
+    """NDP shape (Table I): private L1D per core, no L2/L3, HBM2.
+
+    With ``numa_nodes > 1`` the HBM capacity splits into one banked
+    device per node and ``numa_penalty`` (per-core rows of extra
+    cycles by node) prices the vault-crossing distance.
+    """
     l1ds = [
         Cache(f"L1D{c}", l1_size, l1_assoc, l1_latency)
         for c in range(num_cores)
     ]
     noc = MeshInterconnect(num_cores, near_memory=True)
-    return MemoryHierarchy(l1ds, DramModel(dram_timing), noc)
+    dram, drams, penalty = _node_drams(dram_timing, numa_nodes,
+                                       numa_penalty)
+    return MemoryHierarchy(l1ds, dram, noc, node_drams=drams,
+                           numa_penalty=penalty)
 
 
 def build_cpu_hierarchy(num_cores: int, dram_timing: DramTiming,
@@ -244,7 +348,9 @@ def build_cpu_hierarchy(num_cores: int, dram_timing: DramTiming,
                         l2_latency: int = 16,
                         l3_per_core: int = 2 * 1024 * 1024,
                         l3_assoc: int = 16,
-                        l3_latency: int = 35) -> MemoryHierarchy:
+                        l3_latency: int = 35,
+                        numa_nodes: int = 1,
+                        numa_penalty=None) -> MemoryHierarchy:
     """CPU shape (Table I): L1D + L2 per core, shared L3, DDR4."""
     l1ds = [
         Cache(f"L1D{c}", l1_size, l1_assoc, l1_latency)
@@ -256,5 +362,7 @@ def build_cpu_hierarchy(num_cores: int, dram_timing: DramTiming,
     ]
     l3 = Cache("L3", l3_per_core * num_cores, l3_assoc, l3_latency)
     noc = MeshInterconnect(num_cores, near_memory=False)
-    return MemoryHierarchy(l1ds, DramModel(dram_timing), noc,
-                           l2s=l2s, l3=l3)
+    dram, drams, penalty = _node_drams(dram_timing, numa_nodes,
+                                       numa_penalty)
+    return MemoryHierarchy(l1ds, dram, noc, l2s=l2s, l3=l3,
+                           node_drams=drams, numa_penalty=penalty)

@@ -2,10 +2,12 @@
 
 from repro.sim.config import (
     DEFAULT_SCALE,
+    PLACEMENT_POLICIES,
     SYSTEM_CPU,
     SYSTEM_NDP,
     CacheParams,
     CoreParams,
+    NumaParams,
     PwcParams,
     SchedulerParams,
     SystemConfig,
@@ -28,6 +30,7 @@ from repro.sim.sweep import (
     run_sweep,
 )
 from repro.sim.system import System
+from repro.sim.topology import NumaFrameAllocator, NumaTopology
 
 __all__ = [
     "CacheParams",
@@ -35,6 +38,10 @@ __all__ = [
     "CoreParams",
     "CoreStats",
     "DEFAULT_SCALE",
+    "NumaFrameAllocator",
+    "NumaParams",
+    "NumaTopology",
+    "PLACEMENT_POLICIES",
     "PwcParams",
     "RunResult",
     "SYSTEM_CPU",

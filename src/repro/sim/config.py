@@ -83,7 +83,12 @@ class SchedulerParams:
     outnumber ASIDs the OS must recycle them and every switch costs a
     full flush — ``flush_on_switch`` forces that behaviour regardless.
     ``shootdown_cycles`` is the IPI + invalidation cost charged when
-    reclaim unmaps a page that remote TLBs may still cache.
+    reclaim unmaps a page that remote TLBs may still cache;
+    ``shootdown_batch`` coalesces that cost Linux-style — one IPI per
+    ``shootdown_batch`` unmapped pages in a reclaim pass instead of one
+    per page (1, the default, is the unbatched PR 3 behaviour).
+    ``tenant_weights`` scales each tenant's quantum (weight 2.0 runs
+    twice as long per slice); None means equal weights.
     """
 
     quantum_refs: int = 2048
@@ -91,12 +96,76 @@ class SchedulerParams:
     max_asids: int = 16
     shootdown_cycles: int = 4_000
     flush_on_switch: bool = False
+    shootdown_batch: int = 1
+    tenant_weights: Optional[Tuple[float, ...]] = None
 
     def __post_init__(self):
         if self.quantum_refs < 1:
             raise ValueError("quantum_refs must be >= 1")
         if self.max_asids < 1:
             raise ValueError("max_asids must be >= 1")
+        if self.shootdown_batch < 1:
+            raise ValueError("shootdown_batch must be >= 1")
+        if self.tenant_weights is not None:
+            # JSON round-trips tuples as lists; normalize for stable
+            # equality/hashing across from_dict.
+            if not isinstance(self.tenant_weights, tuple):
+                object.__setattr__(self, "tenant_weights",
+                                   tuple(self.tenant_weights))
+            if any(w <= 0 for w in self.tenant_weights):
+                raise ValueError("tenant_weights must be positive")
+
+
+#: Placement policies for the NUMA frame pools (``NumaParams``).
+#: ``local`` backs both data and page-table pages on the faulting
+#: core's node (first-touch); ``interleave`` round-robins every
+#: allocation across nodes; ``preferred-node`` pins everything to one
+#: node (memory-side pooling); ``pte-local`` interleaves data but pins
+#: page-table pages to the faulting core's node, isolating walker
+#: locality from data locality.
+PLACEMENT_POLICIES = ("local", "interleave", "preferred-node",
+                      "pte-local")
+
+
+@dataclass(frozen=True)
+class NumaParams:
+    """NUMA topology knobs (the placement-policy axis).
+
+    ``nodes`` splits physical memory into that many per-node frame
+    pools; ``remote_cycles`` is the uniform extra DRAM latency for an
+    access that crosses nodes (~58 ns of socket interconnect at the
+    2.6 GHz clock); ``placement`` picks the allocation policy (see
+    :data:`PLACEMENT_POLICIES`) and ``preferred_node`` parameterizes
+    the ``preferred-node`` policy.  The default single-node topology is
+    exactly the flat machine of earlier releases, bit for bit.
+    """
+
+    nodes: int = 1
+    placement: str = "local"
+    remote_cycles: int = 150
+    preferred_node: int = 0
+
+    def __post_init__(self):
+        if self.nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        if self.placement not in PLACEMENT_POLICIES:
+            raise ValueError(
+                f"placement must be one of {PLACEMENT_POLICIES}, "
+                f"got {self.placement!r}")
+        if self.remote_cycles < 0:
+            raise ValueError("remote_cycles must be >= 0")
+        if not 0 <= self.preferred_node < self.nodes:
+            raise ValueError("preferred_node must name a node")
+        if self.nodes == 1:
+            # A flat machine has no placement decisions or distances:
+            # normalize the moot knobs to their defaults so every
+            # single-node NumaParams equals NumaParams() — otherwise
+            # two bit-identical runs would get distinct canonical_json
+            # (and duplicate cache cells).
+            cls = type(self)
+            object.__setattr__(self, "placement", cls.placement)
+            object.__setattr__(self, "remote_cycles",
+                               cls.remote_cycles)
 
 
 @dataclass(frozen=True)
@@ -157,6 +226,10 @@ class SystemConfig:
     #: ``workload``.  Length must equal ``tenants`` when given.
     tenant_workloads: Optional[Tuple[str, ...]] = None
     scheduler: SchedulerParams = field(default_factory=SchedulerParams)
+    #: NUMA topology: per-node frame pools with distance-dependent DRAM
+    #: latency and a placement policy.  The default single-node
+    #: topology is the flat machine of earlier releases.
+    numa: NumaParams = field(default_factory=NumaParams)
 
     def __post_init__(self):
         if self.system not in (SYSTEM_CPU, SYSTEM_NDP):
@@ -181,6 +254,11 @@ class SystemConfig:
                     f"tenant_workloads has "
                     f"{len(self.tenant_workloads)} entries for "
                     f"{self.tenants} tenants")
+        weights = self.scheduler.tenant_weights
+        if weights is not None and len(weights) != self.tenants:
+            raise ValueError(
+                f"tenant_weights has {len(weights)} entries for "
+                f"{self.tenants} tenants")
         get_mechanism(self.mechanism)  # validate early
 
     @property
@@ -219,12 +297,22 @@ class SystemConfig:
         ``_VERSIONED_FIELDS``) are omitted while they hold their
         defaults: a default-valued new axis must not perturb
         ``canonical_json`` — and with it every existing cache key —
-        for configs that do not use it.
+        for configs that do not use it.  The same applies one level
+        down (``_VERSIONED_SUBFIELDS``): a field added to an existing
+        nested dataclass is omitted from *that* dict at its default,
+        so e.g. a custom-quantum scheduler config keeps its PR 3 key.
         """
         data = dataclasses.asdict(self)
         for name, default in _VERSIONED_FIELDS.items():
             if getattr(self, name) == default:
                 del data[name]
+        for name, subdefaults in _VERSIONED_SUBFIELDS.items():
+            if name not in data:
+                continue
+            nested = getattr(self, name)
+            for subname, default in subdefaults.items():
+                if getattr(nested, subname) == default:
+                    del data[name][subname]
         return data
 
     @classmethod
@@ -270,6 +358,16 @@ _VERSIONED_FIELDS: Dict[str, Any] = {
     "tenants": 1,
     "tenant_workloads": None,
     "scheduler": SchedulerParams(),
+    "numa": NumaParams(),
+}
+
+#: Fields added to an already-shipped *nested* dataclass, mapped to the
+#: defaults under which they are omitted from that sub-dict.  Keeps the
+#: canonical JSON of configs that customized the nested object before
+#: the field existed (e.g. a non-default scheduler quantum from PR 3)
+#: byte-identical; ``from_dict`` restores the defaults on the way back.
+_VERSIONED_SUBFIELDS: Dict[str, Dict[str, Any]] = {
+    "scheduler": {"shootdown_batch": 1, "tenant_weights": None},
 }
 
 

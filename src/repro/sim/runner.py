@@ -107,7 +107,9 @@ def collect(system: System, cycles: float) -> RunResult:
         pwc_hit_rates[level] = ratio(
             pwc_hits[level], pwc_hits[level] + pwc_misses[level])
 
-    dram = hierarchy.dram.stats
+    # Machine-wide DRAM view: the flat machine's single device, or the
+    # merged per-node devices of a NUMA machine.
+    dram = hierarchy.dram_stats()
     if system.tenants:
         # Multiprogrammed run: OS behaviour is the sum over tenant
         # address spaces; occupancy is reported for tenant 0's table
@@ -137,6 +139,20 @@ def collect(system: System, cycles: float) -> RunResult:
             "cross_tenant_reclaims": float(sched.cross_tenant_reclaims),
             "frame_pressure": system.allocator.pressure,
         }
+        if system.config.scheduler.shootdown_batch > 1:
+            # Reported only when batching is on, so unbatched runs —
+            # including every pre-batching golden — keep their exact
+            # extras shape.
+            extras["shootdown_ipis"] = float(sched.shootdown_ipis)
+    topology = getattr(system, "topology", None)
+    if topology is not None:
+        hs = hierarchy.stats
+        extras["numa_nodes"] = float(topology.nodes)
+        extras["remote_dram_reads"] = float(hs.remote_reads)
+        extras["remote_fraction"] = ratio(hs.remote_reads,
+                                          hs.dram_reads)
+        extras["remote_penalty_cycles"] = hs.remote_penalty_cycles
+        extras["numa_spills"] = float(system.allocator.total_spills)
 
     return RunResult(
         config=system.config,

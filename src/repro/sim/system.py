@@ -41,8 +41,10 @@ from repro.sim.scheduler import (
     SlotSchedule,
     TenantCoordinator,
     quantum_chunks,
+    tenant_quantum,
     tenant_seed,
 )
+from repro.sim.topology import NumaFrameAllocator, NumaTopology
 from repro.vm.address import HUGE_PAGE_SHIFT, PAGE_SHIFT
 from repro.vm.base import PageTable
 from repro.vm.frames import FrameAllocator
@@ -70,6 +72,11 @@ class System:
         self.spec: MechanismSpec = get_mechanism(config.mechanism)
         self.tenants: List[Tenant] = []
         self.scheduler_stats = None
+        # NUMA topology: None on the flat single-node machine, which
+        # then assembles byte-identically to earlier releases.
+        self.topology: Optional[NumaTopology] = (
+            NumaTopology.from_config(config)
+            if config.numa.nodes > 1 else None)
         if config.tenants > 1:
             self._init_tenants()
             return
@@ -81,9 +88,7 @@ class System:
                         if config.tenant_workloads else config.workload)
         self.workload = make_workload(
             workload_key, scale=config.scale, seed=config.seed)
-        self.allocator = FrameAllocator(
-            config.physical_bytes,
-            fragmentation=config.boot_fragmentation)
+        self.allocator = self._build_allocator()
         self.page_table = self.spec.build_table(self.allocator)
         self.os = OSMemoryManager(
             self.allocator, self.page_table,
@@ -210,13 +215,30 @@ class System:
         # Warmup fault work is setup, not ROI: reset the OS counters.
         self.os.stats = type(self.os.stats)()
 
+    def _build_allocator(self):
+        """Flat allocator, or the per-node NUMA facade over it."""
+        cfg = self.config
+        if self.topology is None:
+            return FrameAllocator(
+                cfg.physical_bytes,
+                fragmentation=cfg.boot_fragmentation)
+        return NumaFrameAllocator(
+            self.topology, cfg.numa,
+            fragmentation=cfg.boot_fragmentation)
+
     def _build_hierarchy(self) -> MemoryHierarchy:
         cfg = self.config
+        numa_nodes = 1
+        numa_penalty = None
+        if self.topology is not None:
+            numa_nodes = self.topology.nodes
+            numa_penalty = self.topology.penalty_rows()
         if cfg.system == SYSTEM_NDP:
             return build_ndp_hierarchy(
                 cfg.num_cores, HBM2,
                 l1_size=cfg.l1.size, l1_assoc=cfg.l1.associativity,
-                l1_latency=cfg.l1.latency)
+                l1_latency=cfg.l1.latency,
+                numa_nodes=numa_nodes, numa_penalty=numa_penalty)
         return build_cpu_hierarchy(
             cfg.num_cores, DDR4_2400,
             l1_size=cfg.l1.size, l1_assoc=cfg.l1.associativity,
@@ -225,7 +247,8 @@ class System:
             l2_latency=cfg.l2.latency,
             l3_per_core=cfg.l3_per_core.size,
             l3_assoc=cfg.l3_per_core.associativity,
-            l3_latency=cfg.l3_per_core.latency)
+            l3_latency=cfg.l3_per_core.latency,
+            numa_nodes=numa_nodes, numa_penalty=numa_penalty)
 
     def _build_tlbs(self, core_id: int) -> TlbHierarchy:
         t = self.config.tlb
@@ -289,8 +312,7 @@ class System:
         params = cfg.scheduler
         self.coordinator = TenantCoordinator(params)
         self.scheduler_stats = self.coordinator.stats
-        self.allocator = FrameAllocator(
-            cfg.physical_bytes, fragmentation=cfg.boot_fragmentation)
+        self.allocator = self._build_allocator()
         workload_keys = (cfg.tenant_workloads
                          or (cfg.workload,) * cfg.tenants)
         for asid, key in enumerate(workload_keys):
@@ -317,7 +339,10 @@ class System:
 
         # Streams are fed to cores in quantum-sized chunks so one
         # ``step_chunk`` frame is one time slice on single-slot runs.
-        feed_refs = min(params.quantum_refs, CHUNK_REFS)
+        # Quanta are per tenant once weights are configured.
+        feeds = {tenant.asid: min(tenant_quantum(params, tenant.asid),
+                                  CHUNK_REFS)
+                 for tenant in self.tenants}
         warmup = (cfg.refs_per_core if cfg.warmup_refs is None
                   else cfg.warmup_refs)
         total_refs = cfg.refs_per_core * cfg.num_cores * cfg.tenants
@@ -326,7 +351,7 @@ class System:
             replay = {(tenant.asid, slot): []
                       for tenant in self.tenants
                       for slot in range(cfg.num_cores)}
-        self._prefault_tenants(warmup, feed_refs, replay)
+        self._prefault_tenants(warmup, feeds, replay)
 
         self.pwc_sets = []
         self.mmus = []
@@ -343,7 +368,7 @@ class System:
             else:
                 pwcs = None
             slot_cores: List[Core] = []
-            for tenant in self.tenants:
+            for tenant in self._slot_tenant_order(slot_id):
                 walker = PageTableWalker(
                     tenant.page_table, self.hierarchy, slot_id,
                     pwcs=pwcs, bypass=self.spec.build_bypass(),
@@ -355,12 +380,13 @@ class System:
                 else:
                     source = tenant.workload.stream_chunks(
                         slot_id, cfg.refs_per_core,
-                        chunk_refs=feed_refs)
+                        chunk_refs=feeds[tenant.asid])
                 # Align chunk boundaries to quantum multiples so the
                 # single-slot engine's whole-chunk slices are exact
                 # quanta even when the quantum exceeds the generation
                 # batch (matching the heap path's per-ref counting).
-                chunks = quantum_chunks(source, params.quantum_refs)
+                chunks = quantum_chunks(
+                    source, tenant_quantum(params, tenant.asid))
                 core = Core(slot_id, mmu, self.hierarchy, None,
                             gap_cycles=tenant.workload.gap_cycles,
                             mlp=cfg.core.mlp,
@@ -373,7 +399,27 @@ class System:
             slots.append(SlotSchedule(slot_id, slot_cores, tlbs, pwcs))
         self.engine = ScheduledEngine(slots, params, self.coordinator)
 
-    def _prefault_tenants(self, warmup: int, feed_refs: int,
+    def _slot_tenant_order(self, slot_id: int) -> List[Tenant]:
+        """Tenant contexts of one slot, node-affine first.
+
+        On a NUMA machine each slot's round-robin queue starts with
+        the tenants whose home node matches the slot's node (nearest
+        first, ASID as the deterministic tiebreak), so the scheduler
+        favours node-local contexts the way an affinity-aware OS
+        balances run queues.  Single-node machines keep ASID order —
+        the PR 3 schedule, bit for bit.
+        """
+        if self.topology is None:
+            return list(self.tenants)
+        topo = self.topology
+        slot_node = topo.node_of_core(slot_id)
+        distance = topo.distance[slot_node]
+        return sorted(
+            self.tenants,
+            key=lambda t: (distance[topo.node_of_tenant(t.asid)],
+                           t.asid))
+
+    def _prefault_tenants(self, warmup: int, feeds: Dict[int, int],
                           replay) -> None:
         """Untimed multi-tenant warmup.
 
@@ -390,7 +436,7 @@ class System:
         if gc_was_enabled:
             gc.disable()
         try:
-            self._prefault_tenants_inner(warmup, feed_refs, replay)
+            self._prefault_tenants_inner(warmup, feeds, replay)
         finally:
             if gc_was_enabled:
                 gc.enable()
@@ -398,8 +444,8 @@ class System:
             tenant.os.stats = type(tenant.os.stats)()
         self.coordinator.reset()
 
-    def _prefault_tenants_inner(self, warmup: int, feed_refs: int,
-                                replay) -> None:
+    def _prefault_tenants_inner(self, warmup: int,
+                                feeds: Dict[int, int], replay) -> None:
         cfg = self.config
         tenants = self.tenants
         pairs = [(tenant, slot)
@@ -408,7 +454,7 @@ class System:
 
         def make_iter(tenant: Tenant, slot: int):
             source = tenant.workload.stream_chunks(
-                slot, warmup, chunk_refs=feed_refs)
+                slot, warmup, chunk_refs=feeds[tenant.asid])
             if replay is None:
                 return source
             record = replay[(tenant.asid, slot)]

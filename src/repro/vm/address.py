@@ -55,6 +55,36 @@ def asid_tag(asid: int) -> int:
     return asid << ASID_SHIFT
 
 
+# NUMA node tagging (physical side) -----------------------------------------
+# Frame numbers stay below 2**28 for any per-node pool up to 1 TiB, so a
+# node id packed at frame bit 28 (physical-address bit 40) turns a
+# (node, frame) pair into a single int that flows through the existing
+# page tables, caches and DRAM decode unchanged — the physical mirror of
+# the ASID trick on the virtual side.  Node 0 tags to 0, keeping every
+# single-node frame number and physical address bit-identical.
+NODE_FRAME_SHIFT = 28
+NODE_PADDR_SHIFT = NODE_FRAME_SHIFT + PAGE_SHIFT  # 40
+NODE_FRAME_MASK = (1 << NODE_FRAME_SHIFT) - 1     # strips the node tag
+NODE_PADDR_MASK = (1 << NODE_PADDR_SHIFT) - 1
+
+
+def node_frame_tag(node: int) -> int:
+    """Frame-number tag for NUMA node ``node`` (0 stays 0)."""
+    if node < 0:
+        raise ValueError("node must be non-negative")
+    return node << NODE_FRAME_SHIFT
+
+
+def node_of_frame(frame: int) -> int:
+    """NUMA node encoded in a tagged frame number."""
+    return frame >> NODE_FRAME_SHIFT
+
+
+def node_of_paddr(paddr: int) -> int:
+    """NUMA node encoded in a tagged physical address."""
+    return paddr >> NODE_PADDR_SHIFT
+
+
 def page_offset(vaddr: int) -> int:
     """Offset of ``vaddr`` within its 4 KB page."""
     return vaddr & (PAGE_SIZE - 1)

@@ -211,11 +211,13 @@ class FrameAllocator:
         self._partials[site] = partial
         return partial
 
-    def alloc_huge(self) -> Optional[int]:
+    def alloc_huge(self, site: int = 0) -> Optional[int]:
         """Allocate a whole 2 MB block; return its first frame or None.
 
         None signals contiguity exhaustion: the caller (OS model) decides
-        between compaction and 4 KB fallback.
+        between compaction and 4 KB fallback.  ``site`` keeps the
+        signature uniform with :meth:`alloc_frame` (the NUMA facade
+        routes on it; the flat allocator has one pool).
         """
         if not self._free_blocks:
             self.stats.huge_failures += 1

@@ -111,6 +111,11 @@ class OSMemoryManager:
         self._on_unmap = on_unmap
         self._peer_reclaim = peer_reclaim
         self._extra_fault_cycles = extra_fault_cycles
+        # NUMA facade hook: post the faulting core before map_page so
+        # page-table allocations (made under PT_ALLOC_SITE, not a core
+        # site) can resolve locality.  None on the flat allocator.
+        self._note_fault_site = getattr(allocator, "note_fault_site",
+                                        None)
         #: Fraction of huge-eligible regions the THP machinery actually
         #: backs with 2 MB pages.  Linux promotes lazily (khugepaged)
         #: and demotes under pressure; Ingens (the paper's [23]) shows
@@ -155,6 +160,8 @@ class OSMemoryManager:
         translation = self.page_table.lookup(page)
         if translation is not None:
             return translation, 0.0
+        if self._note_fault_site is not None:
+            self._note_fault_site(site)
         if self.policy is PagingPolicy.HUGE and self._supports_huge():
             cycles = self._fault_huge(page, site)
         else:
@@ -276,7 +283,7 @@ class OSMemoryManager:
             self.stats.huge_fallbacks += 1
             return self._fault_small(page, site)
 
-        first_frame = self.allocator.alloc_huge()
+        first_frame = self.allocator.alloc_huge(site=site)
         cycles = 0.0
         if first_frame is None:
             # Contiguity exhausted: try one compaction pass, then give
@@ -284,7 +291,7 @@ class OSMemoryManager:
             cycles += self.costs.compaction_cycles
             self.stats.compactions += 1
             if self.allocator.compact() > 0:
-                first_frame = self.allocator.alloc_huge()
+                first_frame = self.allocator.alloc_huge(site=site)
             if first_frame is None:
                 self._fallback_regions.add(region)
                 self.stats.regions_fallen_back += 1

@@ -10,6 +10,7 @@ import pytest
 from repro.sim.config import (
     DEFAULT_SCALE,
     CacheParams,
+    NumaParams,
     SchedulerParams,
     SystemConfig,
     cpu_config,
@@ -159,6 +160,7 @@ class TestVersionedFields:
         assert "tenants" not in data
         assert "tenant_workloads" not in data
         assert "scheduler" not in data
+        assert "numa" not in data
 
     def test_non_default_new_fields_serialized(self):
         cfg = ndp_config(tenants=2,
@@ -166,6 +168,68 @@ class TestVersionedFields:
         data = cfg.to_dict()
         assert data["tenants"] == 2
         assert data["scheduler"]["quantum_refs"] == 512
+
+    def test_new_scheduler_subfields_omitted_at_defaults(self):
+        """A non-default scheduler serialized today must be byte-equal
+        to its PR 3 form: fields added to SchedulerParams later
+        (shootdown_batch, tenant_weights) disappear at their
+        defaults, so PR 3-era cache keys for custom-quantum configs
+        survive."""
+        cfg = ndp_config(tenants=2,
+                         scheduler=SchedulerParams(quantum_refs=512))
+        data = cfg.to_dict()
+        assert "shootdown_batch" not in data["scheduler"]
+        assert "tenant_weights" not in data["scheduler"]
+        # Exactly the PR 3 field set, nothing more.
+        assert sorted(data["scheduler"]) == [
+            "context_switch_cycles", "flush_on_switch", "max_asids",
+            "quantum_refs", "shootdown_cycles"]
+
+    def test_non_default_scheduler_subfields_serialized(self):
+        cfg = ndp_config(
+            tenants=2,
+            scheduler=SchedulerParams(shootdown_batch=8,
+                                      tenant_weights=(2.0, 1.0)))
+        data = cfg.to_dict()
+        assert data["scheduler"]["shootdown_batch"] == 8
+        assert data["scheduler"]["tenant_weights"] == (2.0, 1.0)
+        assert SystemConfig.from_dict(data) == cfg
+
+    def test_numa_axis_round_trips_and_keys_differ(self):
+        import json
+        cfg = ndp_config(numa=NumaParams(nodes=2,
+                                         placement="pte-local"))
+        data = cfg.to_dict()
+        assert data["numa"]["nodes"] == 2
+        rebuilt = SystemConfig.from_dict(
+            json.loads(json.dumps(data)))
+        assert rebuilt == cfg
+        assert hash(rebuilt) == hash(cfg)
+        assert cfg.canonical_json() != ndp_config().canonical_json()
+        assert cfg.canonical_json() != ndp_config(
+            numa=NumaParams(nodes=2)).canonical_json()
+
+    def test_weights_round_trip_through_json(self):
+        import json
+        cfg = ndp_config(
+            tenants=2,
+            scheduler=SchedulerParams(tenant_weights=(1.5, 1.0)))
+        rebuilt = SystemConfig.from_dict(
+            json.loads(json.dumps(cfg.to_dict())))
+        assert rebuilt == cfg
+        assert rebuilt.scheduler.tenant_weights == (1.5, 1.0)
+        assert isinstance(rebuilt.scheduler.tenant_weights, tuple)
+
+    def test_new_fields_validation(self):
+        with pytest.raises(ValueError):
+            SchedulerParams(shootdown_batch=0)
+        with pytest.raises(ValueError):
+            SchedulerParams(tenant_weights=(1.0, -1.0))
+        with pytest.raises(ValueError):
+            # weights must match the tenant count
+            ndp_config(tenants=2,
+                       scheduler=SchedulerParams(
+                           tenant_weights=(1.0, 2.0, 3.0)))
 
     def test_new_fields_round_trip_exact(self):
         cfg = ndp_config(tenants=3, tenant_workloads=("bfs", "xs",
