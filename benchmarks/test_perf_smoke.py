@@ -79,6 +79,28 @@ def test_bench_report_shape(tmp_path):
     assert sweep["refs_per_sec"] > 0
 
 
+def test_bench_profile_report(tmp_path):
+    """--profile embeds per-config cProfile hot spots in the report."""
+    bench = load_bench_module()
+    out = tmp_path / "bench.json"
+    rc = bench.main(["--refs", "1200", "--scale", str(1 / 64),
+                     "--out", str(out), "--sweep-jobs", "0",
+                     "--profile"])
+    assert rc == 0
+    import json
+    report = json.loads(out.read_text())
+    profile = report["profile"]
+    assert set(profile) == {entry["name"] for entry in bench.SUITE}
+    for rows in profile.values():
+        assert 0 < len(rows) <= bench.PROFILE_TOP
+        for row in rows:
+            assert {"function", "ncalls", "tottime",
+                    "cumtime"} <= set(row)
+        # Ranked by cumulative time, the documented order.
+        cumtimes = [row["cumtime"] for row in rows]
+        assert cumtimes == sorted(cumtimes, reverse=True)
+
+
 def test_bench_regression_gate(tmp_path):
     """--fail-below trips on a too-fast baseline and passes otherwise."""
     bench = load_bench_module()

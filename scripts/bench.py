@@ -19,7 +19,10 @@ root) so successive PRs accumulate a performance trajectory::
 prints per-config and aggregate speedups; adding ``--fail-below R``
 turns the comparison into a regression gate that exits non-zero when
 the aggregate refs/s falls below ``R x`` the baseline (CI runs this
-with ``R = 0.8``).
+with ``R = 0.8``).  ``--profile`` adds one instrumented pass per
+config after the timed suite and embeds each config's top-25
+functions by cumulative time in the report (a ``profile`` block), so
+future perf PRs can cite where the time goes.
 
 Alongside the single-run rows the harness times one *parallel sweep*
 (the QUICK workload grid through ``SweepRunner --jobs N``, fresh cache)
@@ -70,11 +73,13 @@ from repro.sim.sweep import SweepRunner, expand_grid  # noqa: E402
 
 #: The benchmark suite: walker-heavy baseline, graph traversal, the
 #: paper's mechanism, a two-tenant schedule (the multi-process
-#: scheduler + ASID-tagged-TLB path), and a two-node NUMA interleave
+#: scheduler + ASID-tagged-TLB path), a two-node NUMA interleave
 #: (per-node DRAM routing + remote-distance charging on the miss
-#: path).  Single-core on purpose — the per-reference path is what
-#: this harness tracks; the engine's multi-core interleaving is
-#: covered by the figure benchmarks.
+#: path), and — since the run-ahead engine (PR 5) — two multi-core
+#: configs: a 4-core traversal through the linear-scan run-ahead loop
+#: and a 2-tenant 2-core schedule through the scheduler's run-ahead
+#: loop, so the interleaved paths sit on the same perf trajectory as
+#: the single-core ones.
 SUITE = (
     {"name": "rnd-radix", "workload": "rnd", "mechanism": "radix"},
     {"name": "bfs-radix", "workload": "bfs", "mechanism": "radix"},
@@ -83,6 +88,10 @@ SUITE = (
      "tenants": 2},
     {"name": "rnd-radix-2n", "workload": "rnd", "mechanism": "radix",
      "nodes": 2, "placement": "interleave"},
+    {"name": "bfs-radix-4c", "workload": "bfs", "mechanism": "radix",
+     "num_cores": 4},
+    {"name": "xs-ndpage-2t-2c", "workload": "xs",
+     "mechanism": "ndpage", "tenants": 2, "num_cores": 2},
 )
 
 
@@ -189,6 +198,52 @@ def run_suite(refs: int, scale: float, seed: int = 42,
     }
 
 
+#: Entries kept per config by ``--profile`` (cProfile, by cumulative).
+PROFILE_TOP = 25
+
+
+def profile_suite(refs: int, scale: float, seed: int = 42,
+                  top: int = PROFILE_TOP, verbose: bool = True) -> dict:
+    """Run each suite config once under cProfile; return the hot spots.
+
+    One extra (instrumented, slower) pass per config after the timed
+    suite — never mixed into the throughput numbers.  Per config the
+    report carries the ``top`` functions by cumulative time
+    (``file:line:function``, call count, tottime, cumtime), so a perf
+    PR can cite where the time goes on the exact trajectory configs
+    instead of re-deriving the breakdown by hand.
+    """
+    import cProfile
+    import pstats
+
+    profiles = {}
+    for entry in SUITE:
+        config = bench_config(entry, refs, scale, seed)
+        profiler = cProfile.Profile()
+        profiler.enable()
+        run_once(config)
+        profiler.disable()
+        stats = pstats.Stats(profiler)
+        ranked = sorted(stats.stats.items(),
+                        key=lambda item: item[1][3], reverse=True)
+        rows = []
+        for (filename, line, name), (_, ncalls, tottime, cumtime,
+                                     _) in ranked[:top]:
+            rows.append({
+                "function": f"{Path(filename).name}:{line}:{name}",
+                "ncalls": ncalls,
+                "tottime": round(tottime, 4),
+                "cumtime": round(cumtime, 4),
+            })
+        profiles[entry["name"]] = rows
+        if verbose and rows:
+            hottest = max(rows, key=lambda row: row["tottime"])
+            print(f"  profile {entry['name']:<16} hottest "
+                  f"{hottest['function']} "
+                  f"(tottime {hottest['tottime']}s)")
+    return profiles
+
+
 #: The parallel-sweep benchmark grid: the QUICK workload subset under
 #: the paper's baseline and its mechanism, single-core cells.
 SWEEP_WORKLOADS = ("bfs", "xs", "rnd")
@@ -279,6 +334,11 @@ def main(argv=None) -> int:
     parser.add_argument("--sweep-jobs", type=int, default=None,
                         help="workers for the parallel sweep bench "
                              "(default: min(4, cpu_count); 0 skips)")
+    parser.add_argument("--profile", action="store_true",
+                        help="after the timed suite, run each config "
+                             "once under cProfile and embed the top-"
+                             f"{PROFILE_TOP} functions by cumulative "
+                             "time per config in the JSON report")
     args = parser.parse_args(argv)
     if args.fail_below is not None and not args.baseline:
         parser.error("--fail-below requires --baseline")
@@ -300,6 +360,13 @@ def main(argv=None) -> int:
     if sweep_jobs > 0:
         report["sweep"] = run_sweep_bench(
             max(1, args.refs // 4), args.scale, sweep_jobs, args.seed)
+
+    if args.profile:
+        # Full-length configs, so the hot-spot ranking describes the
+        # exact runs the timed rows measured (cProfile slows the pass
+        # ~3x; it never touches the throughput numbers above).
+        report["profile"] = profile_suite(
+            args.refs, args.scale, args.seed)
 
     failed = False
     if args.baseline:

@@ -160,7 +160,7 @@ class DramModel:
 
     __slots__ = ("timing", "stats", "_banks", "_lines_per_row",
                  "_pow2", "_line_shift", "_ch_mask", "_ch_shift",
-                 "_row_shift", "_bank_mask", "_bank_shift")
+                 "_row_shift", "_bank_mask", "_bank_shift", "_hot")
 
     def __init__(self, timing: DramTiming):
         self.timing = timing
@@ -188,6 +188,14 @@ class DramModel:
         else:
             self._line_shift = self._ch_mask = self._ch_shift = 0
             self._row_shift = self._bank_mask = self._bank_shift = 0
+        # One-tuple unpack replaces ~10 attribute loads on the
+        # per-access path; every value is immutable for the device's
+        # lifetime.
+        self._hot = (self._pow2, self._line_shift, self._ch_mask,
+                     self._ch_shift, self._row_shift, self._bank_mask,
+                     self._bank_shift, self._banks,
+                     timing.row_hit_cycles, timing.burst_cycles,
+                     timing.row_miss_cycles, timing.row_cycle_cycles)
 
     def _decode(self, paddr: int):
         """Map a physical address to (bank object, row number).
@@ -219,16 +227,16 @@ class DramModel:
         dispatch on the per-access path).
         """
         # Inline _decode (hot): line -> channel, then permuted bank.
-        timing = self.timing
-        if self._pow2:
-            line = paddr >> self._line_shift
-            channel = line & self._ch_mask
-            within = (line >> self._ch_shift) >> self._row_shift
-            bank_mask = self._bank_mask
-            row = within >> self._bank_shift
+        (pow2, line_shift, ch_mask, ch_shift, row_shift, bank_mask,
+         bank_shift, banks, row_hit_cycles, burst_cycles,
+         row_miss_cycles, row_cycle_cycles) = self._hot
+        if pow2:
+            line = paddr >> line_shift
+            channel = line & ch_mask
+            within = (line >> ch_shift) >> row_shift
+            row = within >> bank_shift
             bank_idx = ((within ^ row ^ (row >> 5)) & bank_mask)
-            bank = self._banks[
-                (channel << self._bank_shift) + bank_idx]
+            bank = banks[(channel << bank_shift) + bank_idx]
         else:
             bank, row = self._decode(paddr)
 
@@ -237,12 +245,12 @@ class DramModel:
 
         stats = self.stats
         if bank.open_row == row:
-            service = timing.row_hit_cycles
-            occupancy = timing.burst_cycles
+            service = row_hit_cycles
+            occupancy = burst_cycles
             stats.row_hits += 1
         else:
-            service = timing.row_miss_cycles
-            occupancy = timing.row_cycle_cycles
+            service = row_miss_cycles
+            occupancy = row_cycle_cycles
             stats.row_misses += 1
             bank.open_row = row
 

@@ -136,7 +136,12 @@ class NumaParams:
     access that crosses nodes (~58 ns of socket interconnect at the
     2.6 GHz clock); ``placement`` picks the allocation policy (see
     :data:`PLACEMENT_POLICIES`) and ``preferred_node`` parameterizes
-    the ``preferred-node`` policy.  The default single-node topology is
+    the ``preferred-node`` policy.  ``distance_matrix`` replaces the
+    uniform off-diagonal distance with an explicit ``nodes`` x
+    ``nodes`` matrix of extra cycles (asymmetric interconnects:
+    mesh hops, sub-NUMA clusters, CXL-attached far memory); the
+    diagonal must be zero and None (the default) keeps the uniform
+    ``remote_cycles`` derivation.  The default single-node topology is
     exactly the flat machine of earlier releases, bit for bit.
     """
 
@@ -144,6 +149,7 @@ class NumaParams:
     placement: str = "local"
     remote_cycles: int = 150
     preferred_node: int = 0
+    distance_matrix: Optional[Tuple[Tuple[float, ...], ...]] = None
 
     def __post_init__(self):
         if self.nodes < 1:
@@ -156,6 +162,24 @@ class NumaParams:
             raise ValueError("remote_cycles must be >= 0")
         if not 0 <= self.preferred_node < self.nodes:
             raise ValueError("preferred_node must name a node")
+        if self.distance_matrix is not None:
+            # JSON round-trips tuples as lists and ints for whole
+            # floats; normalize to nested float tuples so equality and
+            # hashing are stable across from_dict.
+            matrix = tuple(tuple(float(cycles) for cycles in row)
+                           for row in self.distance_matrix)
+            object.__setattr__(self, "distance_matrix", matrix)
+            if len(matrix) != self.nodes or any(
+                    len(row) != self.nodes for row in matrix):
+                raise ValueError(
+                    f"distance_matrix must be {self.nodes}x"
+                    f"{self.nodes}")
+            for i, row in enumerate(matrix):
+                if row[i] != 0:
+                    raise ValueError(
+                        "distance_matrix diagonal must be zero")
+                if any(cycles < 0 for cycles in row):
+                    raise ValueError("distances must be non-negative")
         if self.nodes == 1:
             # A flat machine has no placement decisions or distances:
             # normalize the moot knobs to their defaults so every
@@ -166,6 +190,7 @@ class NumaParams:
             object.__setattr__(self, "placement", cls.placement)
             object.__setattr__(self, "remote_cycles",
                                cls.remote_cycles)
+            object.__setattr__(self, "distance_matrix", None)
 
 
 @dataclass(frozen=True)
@@ -368,6 +393,7 @@ _VERSIONED_FIELDS: Dict[str, Any] = {
 #: byte-identical; ``from_dict`` restores the defaults on the way back.
 _VERSIONED_SUBFIELDS: Dict[str, Dict[str, Any]] = {
     "scheduler": {"shootdown_batch": 1, "tenant_weights": None},
+    "numa": {"distance_matrix": None},
 }
 
 

@@ -48,11 +48,19 @@ import heapq
 from dataclasses import dataclass
 from typing import List, Optional
 
+from math import inf
+
 from repro.mmu.pwc import PwcSet
 from repro.mmu.tlb import TlbHierarchy
 from repro.sim.config import SchedulerParams
 from repro.sim.core_model import Core
-from repro.sim.engine import SimulationEngine
+from repro.sim.engine import (
+    LINEAR_SCAN_MAX,
+    SimulationEngine,
+    drive_heap,
+    drive_linear,
+    reference_engine_enabled,
+)
 from repro.vm.address import asid_tag
 from repro.vm.frames import OutOfMemoryError
 from repro.vm.os_model import OSMemoryManager
@@ -217,12 +225,17 @@ class SlotSchedule:
 class ScheduledEngine(SimulationEngine):
     """Quantum-based round-robin of tenant contexts over core slots.
 
-    Single-slot runs drive the chunked fast path — the workload streams
-    are re-chunked to the quantum, so one ``step_chunk`` frame is one
-    time slice.  Multi-slot runs keep the per-reference heap
-    interleaving (shared-DRAM ordering across slots) and count the
-    quantum per reference.  Both charge switches and model ASID
-    behaviour identically.
+    Single-slot runs drive the chunked fast path — one
+    ``step_until(now, inf, quantum)`` call is one time slice.
+    Multi-slot runs interleave slots in global time (shared-DRAM
+    ordering) through the same run-ahead scheme as the plain engine: a
+    linear-scan array of next-ready slots up to ``LINEAR_SCAN_MAX``, a
+    heap above it, and the per-reference heap loop retained as the
+    debug reference engine behind ``REPRO_REFERENCE_ENGINE=1``.  The
+    run-ahead deadline composes with the quantum: the active context
+    runs to the next other-slot event or the end of its slice,
+    whichever comes first.  All paths charge switches and model ASID
+    behaviour identically, reference for reference.
     """
 
     def __init__(self, slots: List[SlotSchedule],
@@ -247,6 +260,8 @@ class ScheduledEngine(SimulationEngine):
         }
         self._uniform_quantum = (params.quantum_refs
                                  if not params.tenant_weights else None)
+        # Per-context coroutine senders, built at run time (see _run).
+        self._senders = {}
 
     # -- switching ---------------------------------------------------
 
@@ -282,38 +297,106 @@ class ScheduledEngine(SimulationEngine):
     # -- execution ---------------------------------------------------
 
     def _run(self) -> None:
-        if len(self.slots) == 1:
+        if reference_engine_enabled():
+            # Debug: reference-granular heap scheduling — also for a
+            # single slot (bit-identical to the chunked slicing, so
+            # the env var always bypasses the fast path).
+            self._run_heap_sched()
+        elif len(self.slots) == 1:
             self._run_single_slot(self.slots[0])
         else:
-            self._run_heap_sched()
+            # Direct coroutine senders, one per context: a run-ahead
+            # batch costs one C-level generator resume.
+            self._senders = {
+                id(core): core.runner_send()
+                for slot in self.slots for core in slot.cores
+            }
+            if len(self.slots) <= LINEAR_SCAN_MAX:
+                self._run_linear_sched()
+            else:
+                self._run_heap_sched_runahead()
 
     def _run_single_slot(self, slot: SlotSchedule) -> None:
-        """Chunk-granular slicing on the heap-free fast path."""
+        """Quantum-granular slicing on the heap-free fast path."""
         quanta = self._quanta
         now = 0.0
         while slot.alive:
             core = slot.alive[slot.active]
-            quantum = quanta[id(core)]
-            start_refs = core.stats.references
-            finished = False
-            while core.stats.references - start_refs < quantum:
-                next_ready = core.step_chunk(now)
-                if next_ready is None:
-                    finished = True
-                    break
-                now = next_ready
-            if finished:
+            if len(slot.alive) == 1:
+                # Last context standing: no more switches, run it out.
+                next_ready = core.step_until(now, inf)
+            else:
+                next_ready = core.step_until(now, inf,
+                                             quanta[id(core)])
+            if next_ready is None:
                 now = max(now, core.stats.cycles)
                 resumed = self._retire(slot, now)
                 if resumed is None:
                     return
                 now = resumed
-            elif len(slot.alive) > 1:
+            else:
                 slot.active = (slot.active + 1) % len(slot.alive)
-                now = self._switch(slot, now)
+                now = self._switch(slot, next_ready)
+
+    def _advance_slot(self, slot: SlotSchedule, now: float,
+                      bound: float) -> Optional[float]:
+        """Run ``slot``'s active context ahead to ``bound`` or the end
+        of its quantum; return the slot's next event key (None when
+        the slot's run queue emptied).
+
+        Exactly replicates the reference engine's per-reference
+        accounting: partial slices accumulate ``quantum_refs`` across
+        activations, a filled quantum switches immediately (the switch
+        only touches slot-local state, so its placement relative to
+        other slots' references is immaterial), and a context's end of
+        stream retires it at its drained ready time.
+        """
+        core = slot.alive[slot.active]
+        if len(slot.alive) > 1:
+            uniform = self._uniform_quantum
+            quantum = uniform if uniform is not None \
+                else self._quanta[id(core)]
+            limit = quantum - slot.quantum_refs
+            start_refs = core.stats.references
+            next_ready = self._senders[id(core)]((now, bound, limit))
+        else:
+            limit = None
+            next_ready = self._senders[id(core)]((now, bound, None))
+        if next_ready is None:
+            return self._retire(slot, max(now, core.stats.cycles))
+        if limit is not None:
+            consumed = core.stats.references - start_refs
+            slot.quantum_refs += consumed
+            if consumed >= limit:
+                slot.quantum_refs = 0
+                slot.active = (slot.active + 1) % len(slot.alive)
+                next_ready = self._switch(slot, next_ready)
+        return next_ready
+
+    def _run_linear_sched(self) -> None:
+        """Run-ahead over a linear-scan array of next-ready slots."""
+        slots = sorted(self.slots, key=lambda slot: slot.slot_id)
+        advance_slot = self._advance_slot
+
+        def advance(i, now, bound):
+            return advance_slot(slots[i], now, bound)
+
+        drive_linear(len(slots), advance)
+
+    def _run_heap_sched_runahead(self) -> None:
+        """Run-ahead under a heap (slot counts past the scan window)."""
+        by_id = {slot.slot_id: slot for slot in self.slots}
+        advance_slot = self._advance_slot
+
+        def advance(slot_id, now, bound):
+            return advance_slot(by_id[slot_id], now, bound)
+
+        drive_heap(sorted(by_id), advance)
 
     def _run_heap_sched(self) -> None:
-        """Reference-granular slicing under the global-time heap."""
+        """Debug reference engine: one heap pop per reference
+        (``REPRO_REFERENCE_ENGINE=1``); the run-ahead loops must match
+        it bit for bit."""
         quanta = self._quanta
         uniform = self._uniform_quantum  # int, or None when weighted
         heap = [(0.0, slot.slot_id) for slot in self.slots]
@@ -355,23 +438,25 @@ def tenant_quantum(params: SchedulerParams, asid: int) -> int:
 def quantum_chunks(chunks, quantum: int):
     """Split a chunk stream so no chunk crosses a quantum boundary.
 
-    The single-slot engine slices at ``step_chunk`` (whole-chunk)
-    granularity, so exact quanta require chunk boundaries to land on
-    quantum multiples — including when the quantum exceeds the
-    workload's generation batch (cumulative boundaries like 8192+1808
-    for a 10000-ref quantum).  Pure list slicing on already-generated
-    chunks: the underlying RNG draw sequence is untouched.
+    Keeps chunk handover aligned to time slices — including when the
+    quantum exceeds the workload's generation batch (cumulative
+    boundaries like 8192+1808 for a 10000-ref quantum).  Works on any
+    chunk arity (``(addrs, writes)`` or the preprocessed
+    ``(addrs, writes, vpns, vlines)`` tuples); pure list slicing on
+    already-generated chunks, so the underlying RNG draw sequence is
+    untouched.
     """
     used = 0
-    for addrs, writes in chunks:
+    for chunk in chunks:
         pos = 0
-        end = len(addrs)
+        end = len(chunk[0])
         while pos < end:
             take = min(quantum - used, end - pos)
             if pos == 0 and take == end:
-                yield addrs, writes
+                yield chunk
             else:
-                yield addrs[pos:pos + take], writes[pos:pos + take]
+                stop = pos + take
+                yield tuple(field[pos:stop] for field in chunk)
             used = (used + take) % quantum
             pos += take
 

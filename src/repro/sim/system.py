@@ -154,8 +154,12 @@ class System:
                 recording(core_id) for core_id in range(cfg.num_cores)
             ]
         else:
+            # Prefault only reads addresses: skip the VPN/line-array
+            # materialization the cores would need (no replay here —
+            # the ROI regenerates its own, fully decorated, streams).
             chunk_iters = [
-                self.workload.stream_chunks(core_id, warmup)
+                self.workload.stream_chunks(core_id, warmup,
+                                            probe_keys=False)
                 for core_id in range(cfg.num_cores)
             ]
         buffers: List[List[int]] = [[] for _ in range(cfg.num_cores)]
@@ -337,8 +341,8 @@ class System:
         self.os = self.tenants[0].os
         self.hierarchy = self._build_hierarchy()
 
-        # Streams are fed to cores in quantum-sized chunks so one
-        # ``step_chunk`` frame is one time slice on single-slot runs.
+        # Streams are fed to cores in quantum-sized chunks so a time
+        # slice never splits a generation batch on single-slot runs.
         # Quanta are per tenant once weights are configured.
         feeds = {tenant.asid: min(tenant_quantum(params, tenant.asid),
                                   CHUNK_REFS)
@@ -381,10 +385,9 @@ class System:
                     source = tenant.workload.stream_chunks(
                         slot_id, cfg.refs_per_core,
                         chunk_refs=feeds[tenant.asid])
-                # Align chunk boundaries to quantum multiples so the
-                # single-slot engine's whole-chunk slices are exact
-                # quanta even when the quantum exceeds the generation
-                # batch (matching the heap path's per-ref counting).
+                # Align chunk boundaries to quantum multiples so chunk
+                # handover matches slice boundaries even when the
+                # quantum exceeds the generation batch.
                 chunks = quantum_chunks(
                     source, tenant_quantum(params, tenant.asid))
                 core = Core(slot_id, mmu, self.hierarchy, None,
@@ -453,10 +456,13 @@ class System:
                  for tenant in tenants]
 
         def make_iter(tenant: Tenant, slot: int):
+            if replay is None:
+                # Address-only pass: no VPN/line materialization.
+                return tenant.workload.stream_chunks(
+                    slot, warmup, chunk_refs=feeds[tenant.asid],
+                    probe_keys=False)
             source = tenant.workload.stream_chunks(
                 slot, warmup, chunk_refs=feeds[tenant.asid])
-            if replay is None:
-                return source
             record = replay[(tenant.asid, slot)]
 
             def recording():

@@ -108,9 +108,9 @@ class NumaTopology:
         Cores spread over the nodes in contiguous blocks (cores 0..k
         on node 0, like socket enumeration on real machines); tenants
         round-robin so consecutive ASIDs land on different nodes.  The
-        distance matrix is uniform at ``numa.remote_cycles`` off the
-        diagonal — :class:`NumaTopology` itself accepts arbitrary
-        matrices for asymmetric studies.
+        distance matrix is ``numa.distance_matrix`` when configured
+        (asymmetric studies), else uniform at ``numa.remote_cycles``
+        off the diagonal.
         """
         params = config.numa
         return cls.from_params(params, num_cores=config.num_cores,
@@ -121,9 +121,16 @@ class NumaTopology:
     def from_params(cls, params: NumaParams, num_cores: int,
                     tenants: int, phys_bytes: int) -> "NumaTopology":
         nodes = params.nodes
-        remote = float(params.remote_cycles)
-        distance = [[0.0 if i == j else remote for j in range(nodes)]
-                    for i in range(nodes)]
+        if params.distance_matrix is not None:
+            # Asymmetric-interconnect study: the config carries the
+            # full matrix (validated square/zero-diagonal by
+            # NumaParams) and remote_cycles is ignored.
+            distance = [list(row) for row in params.distance_matrix]
+        else:
+            remote = float(params.remote_cycles)
+            distance = [[0.0 if i == j else remote
+                         for j in range(nodes)]
+                        for i in range(nodes)]
         core_nodes = [core * nodes // num_cores
                       for core in range(num_cores)]
         tenant_nodes = [asid % nodes for asid in range(tenants)]

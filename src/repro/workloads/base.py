@@ -24,7 +24,14 @@ from typing import Iterator, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
-from repro.vm.address import HUGE_PAGE_SIZE, align_up, vpn
+from repro.vm.address import (
+    HUGE_PAGE_SIZE,
+    LINE_SHIFT,
+    PAGE_SHIFT,
+    VA_MASK,
+    align_up,
+    vpn,
+)
 
 #: Where workload arenas start in the virtual address space.
 ARENA_BASE = 0x10_0000_0000  # 64 GiB mark: exercises PL4 index != 0
@@ -37,6 +44,21 @@ CHUNK_REFS = 8192
 
 #: Fraction of references directed at the core's private region.
 PRIVATE_REF_FRACTION = 0.10
+
+
+def chunk_probe_keys(addrs: np.ndarray) -> Tuple[List[int], List[int]]:
+    """Per-reference probe-key arrays for one chunk of addresses.
+
+    Returns ``(vpns, vlines)`` as plain lists: the 4 KB VPN
+    (``(addr & VA_MASK) >> PAGE_SHIFT``) and the virtual line address
+    (``addr >> LINE_SHIFT``) of every reference — the two keys the
+    inlined TLB/L1 hit probe in :meth:`repro.sim.core_model
+    .Core.step_until` consumes.  The single definition of the chunk
+    layout contract: both :meth:`Workload.stream_chunks` and
+    ``Core._refill`` (legacy two-field chunks) derive through it.
+    """
+    return (((addrs & VA_MASK) >> PAGE_SHIFT).tolist(),
+            (addrs >> LINE_SHIFT).tolist())
 
 
 class Region(NamedTuple):
@@ -146,23 +168,35 @@ class Workload(ABC):
         """
 
     def stream_chunks(self, core_id: int, num_refs: int,
-                      chunk_refs: Optional[int] = None
-                      ) -> Iterator[Tuple[List[int], List[bool]]]:
+                      chunk_refs: Optional[int] = None,
+                      probe_keys: bool = True
+                      ) -> Iterator[tuple]:
         """Deterministic reference stream, handed over in whole chunks.
 
-        Yields ``(addresses, writes)`` pairs of equal-length plain
-        Python lists (one per numpy batch), so the simulator's chunked
-        fast path consumes references without per-item generator
-        resumptions or tuple allocations.  Cores sharing a workload
-        instance traverse the same dataset with different seeds (the
-        paper's multithreaded execution model).
+        Yields ``(addresses, writes, vpns, vlines)`` tuples of
+        equal-length plain Python lists (one per numpy batch), so the
+        simulator's chunked fast path consumes references without
+        per-item generator resumptions or tuple allocations.  The VPN
+        (``(addr & VA_MASK) >> PAGE_SHIFT``) and virtual line address
+        (``addr >> LINE_SHIFT``) arrays are computed here with numpy —
+        one vectorized pass per chunk — so the inlined TLB/L1 hit probe
+        in :meth:`repro.sim.core_model.Core.step_until` does no
+        per-reference shifting.  Cores sharing a workload instance
+        traverse the same dataset with different seeds (the paper's
+        multithreaded execution model).
 
         ``chunk_refs`` overrides the default batch size: the scheduler
         feeds cores quantum-sized chunks so a time slice is a whole
-        number of ``step_chunk`` frames.  Batch size shapes the RNG
-        draw sequence, so a re-chunked stream is a *different* (equally
+        number of generation batches.  Batch size shapes the RNG draw
+        sequence, so a re-chunked stream is a *different* (equally
         deterministic) reference sequence — single-process runs always
         use the default and are unaffected.
+
+        ``probe_keys=False`` yields plain ``(addresses, writes)``
+        pairs instead — same addresses, no VPN/line materialization —
+        for consumers that only read addresses (the prefault warmup,
+        :meth:`stream`); ``Core._refill`` derives the arrays on demand
+        if such a stream is ever fed to a core.
         """
         rng = np.random.default_rng(
             (self.seed * 1_000_003 + core_id) & 0xFFFFFFFF)
@@ -189,13 +223,21 @@ class Workload(ABC):
                 writes = writes.copy()
                 addrs[mask] = private.base + pages * 4096 + offsets
                 writes[mask] = rng.random(count) < 0.5
-            yield addrs.tolist(), np.asarray(writes, dtype=bool).tolist()
+            if probe_keys:
+                vpns, vlines = chunk_probe_keys(addrs)
+                yield (addrs.tolist(),
+                       np.asarray(writes, dtype=bool).tolist(),
+                       vpns, vlines)
+            else:
+                yield (addrs.tolist(),
+                       np.asarray(writes, dtype=bool).tolist())
             remaining -= batch
 
     def stream(self, core_id: int,
                num_refs: int) -> Iterator[Tuple[int, bool]]:
         """Per-item view of :meth:`stream_chunks` (compatibility API)."""
-        for addrs, writes in self.stream_chunks(core_id, num_refs):
+        for addrs, writes in self.stream_chunks(core_id, num_refs,
+                                                probe_keys=False):
             yield from zip(addrs, writes)
 
     # -- introspection --------------------------------------------------------

@@ -209,6 +209,42 @@ class TestVersionedFields:
         assert cfg.canonical_json() != ndp_config(
             numa=NumaParams(nodes=2)).canonical_json()
 
+    def test_distance_matrix_round_trips_and_is_versioned(self):
+        """The asymmetric-distance axis: omitted from the numa
+        sub-dict at its default (None) so every PR 4-era NUMA cache
+        key survives, serialized and round-tripped otherwise."""
+        import json
+        plain = ndp_config(numa=NumaParams(nodes=2))
+        assert "distance_matrix" not in plain.to_dict()["numa"]
+
+        cfg = ndp_config(numa=NumaParams(
+            nodes=2, distance_matrix=((0, 300), (150, 0))))
+        data = cfg.to_dict()
+        assert data["numa"]["distance_matrix"] == \
+            ((0.0, 300.0), (150.0, 0.0))
+        rebuilt = SystemConfig.from_dict(
+            json.loads(json.dumps(data)))
+        assert rebuilt == cfg
+        assert hash(rebuilt) == hash(cfg)
+        assert isinstance(rebuilt.numa.distance_matrix[0], tuple)
+        assert cfg.canonical_json() != plain.canonical_json()
+
+    def test_distance_matrix_validation(self):
+        with pytest.raises(ValueError):  # not square
+            NumaParams(nodes=2, distance_matrix=((0, 1),))
+        with pytest.raises(ValueError):  # wrong width
+            NumaParams(nodes=2, distance_matrix=((0,), (0,)))
+        with pytest.raises(ValueError):  # non-zero diagonal
+            NumaParams(nodes=2, distance_matrix=((5, 1), (1, 0)))
+        with pytest.raises(ValueError):  # negative distance
+            NumaParams(nodes=2, distance_matrix=((0, -1), (1, 0)))
+
+    def test_single_node_normalizes_distance_matrix(self):
+        """A 1x1 matrix is moot on a flat machine and must not split
+        cache keys."""
+        assert NumaParams(nodes=1, distance_matrix=((0,),)) \
+            == NumaParams()
+
     def test_weights_round_trip_through_json(self):
         import json
         cfg = ndp_config(

@@ -1,10 +1,31 @@
-"""Tests for the multi-core event engine."""
+"""Tests for the multi-core run-ahead event engine.
+
+The run-ahead loops (linear scan at small core counts, heap above)
+must be bit-identical to the per-reference heap engine kept behind
+``REPRO_REFERENCE_ENGINE=1`` — pinned here over core counts, engines
+and mechanisms, plus mid-chunk ``step_until`` resume units.
+"""
+
+import dataclasses
+from math import inf
 
 import pytest
 
 from repro.sim.config import ndp_config
-from repro.sim.engine import SimulationEngine
+from repro.sim.engine import (
+    LINEAR_SCAN_MAX,
+    REFERENCE_ENGINE_ENV,
+    SimulationEngine,
+    runahead_bound,
+)
+from repro.sim.runner import collect, run_once
 from repro.sim.system import System
+
+
+def result_fields(result) -> dict:
+    fields = dataclasses.asdict(result)
+    fields.pop("config")
+    return fields
 
 
 class TestEngine:
@@ -46,3 +67,143 @@ class TestEngine:
         duo_cycles = duo.run()
         assert duo_cycles > solo_cycles * 0.9
         assert duo_cycles < solo_cycles * 2
+
+
+class TestRunAheadEquivalence:
+    """Run-ahead loops == reference heap engine, bit for bit."""
+
+    @pytest.mark.parametrize("mechanism", ["radix", "ndpage"])
+    @pytest.mark.parametrize("cores", [2, 4, 8])
+    def test_matches_reference_engine(self, cores, mechanism,
+                                      monkeypatch):
+        config = ndp_config(workload="bfs", mechanism=mechanism,
+                            num_cores=cores, refs_per_core=700,
+                            scale=1 / 64, seed=7)
+        fast = result_fields(run_once(config))
+        monkeypatch.setenv(REFERENCE_ENGINE_ENV, "1")
+        reference = result_fields(run_once(config))
+        diff = {
+            key: (fast[key], reference[key])
+            for key in fast if fast[key] != reference[key]
+        }
+        assert not diff, (
+            f"run-ahead diverged from the reference engine: {diff}")
+
+    def test_single_core_honors_reference_env(self, monkeypatch):
+        """The env var bypasses the chunked fast path even at 1 core,
+        so the reference engine is always reachable for debugging."""
+        config = ndp_config(workload="bfs", mechanism="radix",
+                            num_cores=1, refs_per_core=700,
+                            scale=1 / 64, seed=7)
+        fast = result_fields(run_once(config))
+        monkeypatch.setenv(REFERENCE_ENGINE_ENV, "1")
+        reference = result_fields(run_once(config))
+        assert fast == reference
+
+    def test_heap_runahead_matches_reference(self, monkeypatch):
+        """Core counts past LINEAR_SCAN_MAX take the heap run-ahead."""
+        config = ndp_config(workload="rnd", mechanism="radix",
+                            num_cores=LINEAR_SCAN_MAX + 1,
+                            refs_per_core=250, scale=1 / 64, seed=7)
+        fast = result_fields(run_once(config))
+        monkeypatch.setenv(REFERENCE_ENGINE_ENV, "1")
+        reference = result_fields(run_once(config))
+        assert fast == reference
+
+    def test_reference_env_zero_means_off(self, monkeypatch):
+        """'0' (and empty) leave the run-ahead engine active."""
+        from repro.sim.engine import reference_engine_enabled
+        monkeypatch.setenv(REFERENCE_ENGINE_ENV, "0")
+        assert not reference_engine_enabled()
+        monkeypatch.setenv(REFERENCE_ENGINE_ENV, "")
+        assert not reference_engine_enabled()
+        monkeypatch.setenv(REFERENCE_ENGINE_ENV, "1")
+        assert reference_engine_enabled()
+
+
+class TestRunaheadBound:
+    def test_winning_tiebreak_is_inclusive(self):
+        bound = runahead_bound(100.0, 0, 1)
+        assert bound > 100.0          # may run *at* the deadline
+        assert not bound > 100.0 + 1e-9   # but not beyond it
+
+    def test_losing_tiebreak_is_exclusive(self):
+        assert runahead_bound(100.0, 2, 1) == 100.0
+
+
+class TestStepUntil:
+    """Mid-chunk resume and budget semantics of Core.step_until."""
+
+    def small_config(self, **overrides):
+        overrides.setdefault("workload", "bfs")
+        overrides.setdefault("mechanism", "radix")
+        overrides.setdefault("refs_per_core", 3000)
+        overrides.setdefault("scale", 1 / 64)
+        overrides.setdefault("seed", 7)
+        return ndp_config(**overrides)
+
+    def test_bounded_resume_matches_one_shot(self):
+        """Driving a core in many small deadline windows — pausing and
+        resuming mid-chunk — must reproduce the one-shot run."""
+        one_shot = run_once(self.small_config())
+
+        system = System(self.small_config())
+        core = system.cores[0]
+        now = 0.0
+        while True:
+            nxt = core.step_until(now, now + 64.0)
+            if nxt is None:
+                break
+            now = nxt
+        paused = collect(
+            system, max(c.stats.cycles for c in system.cores))
+        assert result_fields(one_shot) == result_fields(paused)
+
+    def test_budget_resume_matches_one_shot(self):
+        """Same, slicing by reference budget instead of deadline."""
+        one_shot = run_once(self.small_config())
+
+        system = System(self.small_config())
+        core = system.cores[0]
+        now = 0.0
+        while True:
+            nxt = core.step_until(now, inf, 37)
+            if nxt is None:
+                break
+            now = nxt
+        paused = collect(
+            system, max(c.stats.cycles for c in system.cores))
+        assert result_fields(one_shot) == result_fields(paused)
+
+    def test_budget_consumes_exactly_max_refs(self):
+        system = System(self.small_config())
+        core = system.cores[0]
+        nxt = core.step_until(0.0, inf, 123)
+        assert nxt is not None
+        assert core.stats.references == 123
+
+    def test_mixes_with_step(self):
+        """step() and step_until() share the persistent cursor."""
+        one_shot = run_once(self.small_config())
+
+        system = System(self.small_config())
+        core = system.cores[0]
+        now = 0.0
+        while True:
+            nxt = core.step_until(now, inf, 10)
+            if nxt is None:
+                break
+            nxt = core.step(nxt)  # one reference the per-item way
+            if nxt is None:
+                break
+            now = nxt
+        paused = collect(
+            system, max(c.stats.cycles for c in system.cores))
+        assert result_fields(one_shot) == result_fields(paused)
+
+    def test_exhausted_core_keeps_reporting_none(self):
+        system = System(self.small_config(refs_per_core=50))
+        core = system.cores[0]
+        assert core.step_until(0.0, inf) is None
+        assert core.finished
+        assert core.step_until(core.stats.cycles, inf) is None

@@ -9,9 +9,9 @@ numbers — only wall-clock time.  Two lines of defense:
    a hot-path refactor that silently perturbs the simulation fails
    loudly;
 2. path equivalence: the single-core chunked fast path
-   (``Core.step_chunk`` via the heap-free engine) must produce results
+   (``Core.step_until`` via the heap-free engine) must produce results
    bit-identical to stepping one reference at a time through
-   ``Core.step`` — the code path multi-core runs use.
+   ``Core.step`` — the code path the debug reference engine uses.
 
 These rely on the simulator being fully deterministic across processes
 (PWC set indexing is integer-based, RNGs are seeded), which
@@ -115,7 +115,7 @@ class TestPathEquivalence:
     """Chunked fast path == one-reference step path, bit for bit."""
 
     @pytest.mark.parametrize("mechanism", ["radix", "ndpage", "ideal"])
-    def test_step_chunk_matches_step(self, mechanism):
+    def test_step_until_matches_step(self, mechanism):
         fast = run_once(small_config(mechanism))
 
         system = System(small_config(mechanism))

@@ -110,6 +110,56 @@ class TestMultiTenantGolden:
         assert result.references == 3 * 2 * 3000
 
 
+class TestSchedulerRunAhead:
+    """The multi-slot run-ahead loops must match the per-reference
+    reference engine (``REPRO_REFERENCE_ENGINE=1``) bit for bit —
+    including quantum accounting, retire order, and cross-tenant
+    shootdown interleaving under memory pressure."""
+
+    @pytest.mark.parametrize("mechanism", ["radix", "ndpage"])
+    def test_multislot_matches_reference_engine(self, mechanism,
+                                                monkeypatch):
+        from repro.sim.engine import REFERENCE_ENGINE_ENV
+        config = mt_config(mechanism, num_cores=2,
+                           refs_per_core=1200)
+        fast = result_fields(run_once(config))
+        monkeypatch.setenv(REFERENCE_ENGINE_ENV, "1")
+        reference = result_fields(run_once(config))
+        assert fast == reference
+
+    def test_pressure_run_matches_reference_engine(self, monkeypatch):
+        """Shootdowns from one slot's faults invalidate other slots'
+        TLBs — their order relative to every reference is pinned."""
+        from repro.sim.engine import REFERENCE_ENGINE_ENV
+        config = mt_config(workload="rnd", num_cores=2,
+                           refs_per_core=1500,
+                           phys_bytes=24 * MIB,
+                           scheduler=SchedulerParams(quantum_refs=256))
+        fast = result_fields(run_once(config))
+        monkeypatch.setenv(REFERENCE_ENGINE_ENV, "1")
+        reference = result_fields(run_once(config))
+        assert fast == reference
+
+    def test_weighted_quanta_match_reference_engine(self, monkeypatch):
+        from repro.sim.engine import REFERENCE_ENGINE_ENV
+        config = mt_config(num_cores=2, refs_per_core=900,
+                           scheduler=SchedulerParams(
+                               tenant_weights=(2.0, 1.0)))
+        fast = result_fields(run_once(config))
+        monkeypatch.setenv(REFERENCE_ENGINE_ENV, "1")
+        reference = result_fields(run_once(config))
+        assert fast == reference
+
+    def test_multislot_deterministic_across_worker_counts(self):
+        """Multi-slot scheduled cells through the pool = serial."""
+        configs = [mt_config(m, num_cores=2, refs_per_core=1000)
+                   for m in ("radix", "ndpage")]
+        serial = SweepRunner(jobs=1).run(configs)
+        pooled = SweepRunner(jobs=2).run(configs)
+        for a, b in zip(serial, pooled):
+            assert result_fields(a) == result_fields(b)
+
+
 class TestAsidAccounting:
     def test_switches_preserve_tlb_within_asid_capacity(self):
         result = run_once(mt_config())

@@ -103,6 +103,37 @@ class TestNumaTopology:
         assert cfg(numa=NumaParams(nodes=1, placement="pte-local")
                    ).canonical_json() == cfg().canonical_json()
 
+    def test_from_params_uses_distance_matrix(self):
+        """NumaParams.distance_matrix overrides the uniform
+        remote_cycles derivation (asymmetric interconnects)."""
+        topo = NumaTopology.from_params(
+            NumaParams(nodes=2, remote_cycles=150,
+                       distance_matrix=((0, 300), (40, 0))),
+            num_cores=2, tenants=1, phys_bytes=128 * MIB)
+        assert topo.distance == ((0.0, 300.0), (40.0, 0.0))
+        # Direction-dependent penalties reach the hierarchy rows.
+        rows = topo.penalty_rows()
+        assert rows[0] == (0.0, 300.0)  # core 0 (node 0) -> node 1
+        assert rows[1] == (40.0, 0.0)   # core 1 (node 1) -> node 0
+
+    def test_asymmetric_distances_charge_directionally(self):
+        """A run where node-0 cores pay more for remote DRAM than
+        node-1 cores: the total penalty must differ from the
+        transposed matrix (same topology, reversed asymmetry)."""
+        def run(matrix):
+            cfg = ndp_config(
+                workload="rnd", refs_per_core=800, scale=1 / 64,
+                seed=7, num_cores=2,
+                numa=NumaParams(nodes=2, placement="interleave",
+                                distance_matrix=matrix))
+            return run_once(cfg)
+
+        steep = run(((0, 400), (40, 0)))
+        shallow = run(((0, 40), (400, 0)))
+        assert steep.extras["remote_penalty_cycles"] > 0
+        assert steep.extras["remote_penalty_cycles"] \
+            != shallow.extras["remote_penalty_cycles"]
+
 
 class TestNumaFrameAllocator:
     def test_local_placement_tags_by_site_node(self):
