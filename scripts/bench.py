@@ -262,12 +262,21 @@ def run_sweep_bench(refs: int, scale: float, jobs: int,
     wall = time.perf_counter() - start
     references = sum(r.references for r in results)
     refs_per_sec = references / wall if wall > 0 else 0.0
+    stats = runner.last_stats
     block = {
         "jobs": runner.jobs,
         "cells": len(configs),
         "references": references,
         "wall_seconds": round(wall, 4),
         "refs_per_sec": round(refs_per_sec, 1),
+        # Fault-tolerance counters (supervised runner): all zero on a
+        # healthy box — nonzero values flag that the throughput row
+        # includes recovery work (retries/backoff) and is not
+        # comparable to a clean baseline.
+        "retries": stats.retries,
+        "timeouts": stats.timeouts,
+        "worker_deaths": stats.worker_deaths,
+        "quarantined": stats.failed,
     }
     if verbose:
         print(f"  {'sweep':<12} {references:>9,} refs  "

@@ -10,6 +10,12 @@ them at full sweep size, plus ``runner`` to parallelize and cache the
 sweep (``python -m repro figure fig12 --jobs 4 --cache-dir DIR``).
 Results are bit-identical whatever the runner: cells are independent
 and the simulator is deterministic across processes.
+
+A keep-going runner (``SweepRunner(strict=False)``) returns ``None``
+for cells it had to quarantine (see the failure manifest in
+``runner.last_stats``); every driver here renders those as explicit
+NaN holes in its tables instead of crashing, so a 30-cell figure with
+one faulty cell still reports the other 29.
 """
 
 from __future__ import annotations
@@ -44,9 +50,23 @@ def _config(system: str, workload: str, mechanism: str, num_cores: int,
 
 
 def _sweep(configs: Sequence[SystemConfig],
-           runner: Optional[SweepRunner]) -> List[RunResult]:
+           runner: Optional[SweepRunner]) -> List[Optional[RunResult]]:
     """Run a declared grid; serial in-process when no runner is given."""
     return (runner or SweepRunner(jobs=1)).run(configs)
+
+
+def _metric(result: Optional[RunResult], attr: str) -> float:
+    """Metric of one cell; NaN for a quarantined (None) cell."""
+    if result is None:
+        return float("nan")
+    return getattr(result, attr)
+
+
+def _cpr(result: Optional[RunResult]) -> float:
+    """Cycles per reference; NaN for a quarantined cell."""
+    if result is None:
+        return float("nan")
+    return result.cycles / max(1, result.references)
 
 
 # -- Motivation: Figs. 4-6 ----------------------------------------------------
@@ -67,8 +87,8 @@ def ptw_latency_comparison(workloads: Sequence[str] = ALL_WORKLOADS,
     table: Dict[str, Dict[str, float]] = {}
     for (workload, system), result in zip(grid, results):
         row = table.setdefault(workload, {})
-        row[system] = result.ptw_latency_mean
-        row[f"{system}_max"] = result.ptw_latency_max
+        row[system] = _metric(result, "ptw_latency_mean")
+        row[f"{system}_max"] = _metric(result, "ptw_latency_max")
     for row in table.values():
         row["increase"] = (row["ndp"] / row["cpu"] - 1.0
                            if row["cpu"] else 0.0)
@@ -92,7 +112,7 @@ def translation_overhead_comparison(
     table: Dict[str, Dict[str, float]] = {}
     for (workload, system), result in zip(grid, results):
         table.setdefault(workload, {})[system] = \
-            result.translation_fraction
+            _metric(result, "translation_fraction")
     return table
 
 
@@ -114,6 +134,8 @@ def core_scaling(workloads: Sequence[str] = ALL_WORKLOADS,
     latencies: Dict[Tuple[str, int], List[float]] = {}
     overheads: Dict[Tuple[str, int], List[float]] = {}
     for (system, cores, _workload), result in zip(grid, results):
+        if result is None:       # quarantined: drop from the average
+            continue
         latencies.setdefault((system, cores), []).append(
             result.ptw_latency_mean)
         overheads.setdefault((system, cores), []).append(
@@ -123,8 +145,8 @@ def core_scaling(workloads: Sequence[str] = ALL_WORKLOADS,
     for system in ("ndp", "cpu"):
         for cores in core_counts:
             out[system][cores] = {
-                "ptw_latency": mean(latencies[(system, cores)]),
-                "overhead": mean(overheads[(system, cores)]),
+                "ptw_latency": mean(latencies.get((system, cores), [])),
+                "overhead": mean(overheads.get((system, cores), [])),
             }
     return out
 
@@ -162,6 +184,10 @@ def l1_miss_breakdown(workloads: Sequence[str] = ALL_WORKLOADS,
     for workload in workloads:
         actual = by_cell[(workload, "radix")]
         ideal = by_cell[(workload, "ideal")]
+        if actual is None or ideal is None:
+            nan = float("nan")
+            table[workload] = MissRateRow(nan, nan, nan, nan, nan, 0)
+            continue
         table[workload] = MissRateRow(
             data_ideal=ideal.l1_data_miss_rate,
             data_actual=actual.l1_data_miss_rate,
@@ -184,6 +210,8 @@ def pte_dram_amplification(workload: str = "rnd", num_cores: int = 4,
         [_config(system, workload, "radix", num_cores, refs_per_core,
                  scale, seed)
          for system in ("ndp", "cpu")], runner)
+    if ndp is None or cpu is None:
+        return float("nan")
     cpu_pte = max(1, cpu.dram_accesses_by_kind.get("metadata", 0))
     return ndp.dram_accesses_by_kind.get("metadata", 0) / cpu_pte
 
@@ -218,6 +246,8 @@ def pwc_hit_rates(workloads: Sequence[str] = ALL_WORKLOADS,
     sums: Dict[str, float] = {}
     counts: Dict[str, int] = {}
     for result in results:
+        if result is None:       # quarantined: drop from the average
+            continue
         for level, rate in result.pwc_hit_rates.items():
             sums[level] = sums.get(level, 0.0) + rate
             counts[level] = counts.get(level, 0) + 1
@@ -290,15 +320,15 @@ def tenant_interference(workload: str = "xs",
     table: Dict[str, Dict[str, float]] = {}
     for mechanism in mechanisms:
         row: Dict[str, float] = {}
-        base = by_cell[(mechanism, base_tenants)]
-        base_cpr = base.cycles / max(1, base.references)
+        base_cpr = _cpr(by_cell[(mechanism, base_tenants)])
         for tenants in tenant_counts:
             result = by_cell[(mechanism, tenants)]
-            cpr = result.cycles / max(1, result.references)
+            cpr = _cpr(result)
             row[f"{tenants}t cpr"] = cpr
             row[f"{tenants}t x"] = cpr / base_cpr if base_cpr else 0.0
-            row[f"{tenants}t shoot"] = result.extras.get(
-                "shootdowns", 0.0)
+            row[f"{tenants}t shoot"] = (
+                result.extras.get("shootdowns", 0.0)
+                if result is not None else float("nan"))
         table[mechanism] = row
     return table
 
@@ -347,16 +377,17 @@ def numa_placement(workload: str = "rnd",
     for mechanism in mechanisms:
         for placement in placements:
             row: Dict[str, float] = {}
-            base = by_cell[(mechanism, placement, base_nodes)]
-            base_cpr = base.cycles / max(1, base.references)
+            base_cpr = _cpr(by_cell[(mechanism, placement,
+                                     base_nodes)])
             for nodes in node_counts:
                 result = by_cell[(mechanism, placement, nodes)]
-                cpr = result.cycles / max(1, result.references)
+                cpr = _cpr(result)
                 row[f"{nodes}n cpr"] = cpr
                 row[f"{nodes}n x"] = (cpr / base_cpr if base_cpr
                                       else 0.0)
-                row[f"{nodes}n rem"] = result.extras.get(
-                    "remote_fraction", 0.0)
+                row[f"{nodes}n rem"] = (
+                    result.extras.get("remote_fraction", 0.0)
+                    if result is not None else float("nan"))
             table[f"{mechanism}/{placement}"] = row
     return table
 

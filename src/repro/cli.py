@@ -23,7 +23,9 @@ finished cells on disk, so figures parallelize and resume::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from repro.analysis import experiments
 from repro.analysis.cache import ResultCache
@@ -37,7 +39,7 @@ from repro.sim.config import (
     ndp_config,
 )
 from repro.sim.runner import run_mechanisms, run_once
-from repro.sim.sweep import SweepRunner, expand_grid
+from repro.sim.sweep import SweepFailure, SweepRunner, expand_grid
 from repro.workloads.registry import ALL_WORKLOADS, workload_table
 
 FIGURES = ("fig4", "fig5", "fig6", "fig7", "fig8", "fig10",
@@ -94,12 +96,57 @@ def _add_sweep_opts(parser):
     parser.add_argument("--cache-dir", default=None,
                         help="directory for the on-disk result cache; "
                              "makes the sweep resumable")
+    parser.add_argument("--retries", type=int, default=1,
+                        help="re-dispatches granted to a failing cell "
+                             "before quarantine (default 1)")
+    parser.add_argument("--cell-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="kill and retry a cell running longer "
+                             "than this (jobs > 1; default: no limit)")
+    parser.add_argument("--keep-going", action="store_true",
+                        help="complete every healthy cell when some "
+                             "are quarantined, rendering them as "
+                             "holes, instead of failing the command")
+    parser.add_argument("--strict", action="store_true",
+                        help="with --keep-going: still exit non-zero "
+                             "when any cell was quarantined")
+    parser.add_argument("--manifest-out", default=None, metavar="PATH",
+                        help="write the failure manifest (plus retry/"
+                             "timeout counters) as JSON to PATH")
 
 
 def _runner_from(args) -> SweepRunner:
     cache = (ResultCache(args.cache_dir)
              if args.cache_dir is not None else None)
-    return SweepRunner(jobs=args.jobs, cache=cache)
+    return SweepRunner(jobs=args.jobs, cache=cache,
+                       retries=args.retries,
+                       cell_timeout=args.cell_timeout,
+                       strict=not args.keep_going)
+
+
+def _finish_sweep(args, runner) -> int:
+    """Shared sweep epilogue: print stats, report/persist failures.
+
+    Under ``--keep-going`` the command completes with holes and exits
+    zero — non-zero only when ``--strict`` is also given.  (Without
+    ``--keep-going`` a quarantined cell raises SweepFailure out of the
+    runner and the command exits 1; this helper still records the
+    manifest on that path.)
+    """
+    stats = runner.last_stats
+    if stats.cells:
+        print(f"sweep: {stats.summary()}")
+    manifest = stats.manifest
+    if args.manifest_out:
+        payload = manifest.to_dict()
+        payload.update(retries=stats.retries, timeouts=stats.timeouts,
+                       worker_deaths=stats.worker_deaths)
+        Path(args.manifest_out).write_text(
+            json.dumps(payload, indent=2) + "\n")
+    if manifest:
+        print(manifest.format())
+        return 1 if args.strict else 0
+    return 0
 
 
 def cmd_run(args) -> int:
@@ -132,8 +179,19 @@ def cmd_compare(args) -> int:
 
 
 def cmd_figure(args) -> int:
-    refs = args.refs
     runner = _runner_from(args)
+    try:
+        _render_figure(args, runner)
+    except SweepFailure:
+        # Strict (no --keep-going): every healthy cell completed and
+        # was cached, but the figure is withheld — all-or-nothing.
+        _finish_sweep(args, runner)
+        return 1
+    return _finish_sweep(args, runner)
+
+
+def _render_figure(args, runner) -> None:
+    refs = args.refs
     if args.figure == "fig4":
         table = experiments.ptw_latency_comparison(refs_per_core=refs,
                                                    runner=runner)
@@ -208,9 +266,6 @@ def cmd_figure(args) -> int:
         print(format_mapping_table(
             table, list(PAPER_MECHANISMS), row_label="workload",
             title=f"{args.figure} ({cores}-core speedups over Radix)"))
-    if runner.last_stats.cells:
-        print(f"sweep: {runner.last_stats.summary()}")
-    return 0
 
 
 def cmd_sweep(args) -> int:
@@ -222,18 +277,22 @@ def cmd_sweep(args) -> int:
         scheduler=SchedulerParams(quantum_refs=args.quantum),
         numa=_numa_from(args))
     runner = _runner_from(args)
-    results = runner.run(configs)
+    try:
+        results = runner.run(configs)
+    except SweepFailure:
+        _finish_sweep(args, runner)
+        return 1
     rows = [
-        [c.workload, c.mechanism, c.system, c.num_cores,
-         r.cycles, r.ipc, r.ptw_latency_mean]
+        [c.workload, c.mechanism, c.system, c.num_cores]
+        + ([r.cycles, r.ipc, r.ptw_latency_mean] if r is not None
+           else ["-", "-", "-"])          # quarantined: explicit hole
         for c, r in zip(configs, results)
     ]
     print(format_table(
         ["workload", "mechanism", "system", "cores", "cycles", "ipc",
          "PTW (cy)"],
         rows, title=f"sweep ({len(configs)} cells)"))
-    print(f"sweep: {runner.last_stats.summary()}")
-    return 0
+    return _finish_sweep(args, runner)
 
 
 def cmd_workloads(_args) -> int:

@@ -4,9 +4,9 @@ Every paper figure is a cross product of independent ``run_once`` calls
 (workload x mechanism x system x core count), so wall-clock time scales
 with the whole grid even though no cell depends on another.
 :class:`SweepRunner` restores the obvious parallelism: it fans configs
-out across a ``multiprocessing`` pool and memoizes finished cells in an
-on-disk :class:`~repro.analysis.cache.ResultCache`, making every sweep
-both parallel and resumable.
+out across supervised worker processes and memoizes finished cells in
+an on-disk :class:`~repro.analysis.cache.ResultCache`, making every
+sweep parallel, resumable, and fault tolerant.
 
 Guarantees the figure drivers rely on:
 
@@ -22,19 +22,35 @@ Guarantees the figure drivers rely on:
   arrive (atomically, one file per cell), so an interrupted sweep —
   Ctrl-C, OOM-killed worker, CI timeout — leaves behind exactly the
   finished cells and a re-run simulates only the missing ones.
-* **Cheap dispatch.**  Configs cross the process boundary as plain
-  dicts (``SystemConfig.to_dict``) in chunks, so large grids don't
-  serialize heavyweight objects per task; results stream back per
-  chunk via ``imap_unordered``.
+* **Fault isolation.**  Workers report per-cell outcomes (result or
+  captured traceback), so one raising cell cannot poison its worker or
+  the sweep.  The supervisor enforces a per-cell timeout, notices
+  dead or wedged workers through their process sentinels, respawns
+  them, and re-dispatches the lost cells with bounded retries and
+  exponential backoff.  A cell that keeps failing is *quarantined*:
+  the sweep completes every other cell and reports the casualties in
+  ``last_stats.manifest`` (a :class:`FailureManifest`).  With
+  ``strict=True`` (the default) the runner raises :class:`SweepFailure`
+  at the end — after completing everything completable — for callers
+  that need all-or-nothing; ``strict=False`` returns ``None`` in the
+  quarantined cells' slots instead, which the figure drivers render as
+  explicit holes.
 
 Typical use::
 
     from repro.sim.sweep import SweepRunner, expand_grid
 
-    runner = SweepRunner(jobs=4, cache_dir=".sweep-cache")
+    runner = SweepRunner(jobs=4, cache_dir=".sweep-cache",
+                         retries=1, cell_timeout=300.0, strict=False)
     results = runner.run(expand_grid(workloads=("bfs", "xs"),
                                      mechanisms=("radix", "ndpage")))
     print(runner.last_stats.summary())
+    if runner.last_stats.manifest:
+        print(runner.last_stats.manifest.format())
+
+Fault injection (tests, CI chaos job) threads a
+:class:`~repro.sim.faults.FaultPlan` through the worker entry point —
+see :mod:`repro.sim.faults`.
 """
 
 from __future__ import annotations
@@ -42,9 +58,13 @@ from __future__ import annotations
 import hashlib
 import multiprocessing
 import os
+import pickle
 import time
-from dataclasses import dataclass
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
 from itertools import product
+from multiprocessing import connection
 from typing import (
     Callable,
     Dict,
@@ -52,26 +72,12 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
+    Union,
 )
 
 from repro.sim.config import SystemConfig, cpu_config, ndp_config
+from repro.sim.faults import FaultPlan, apply_cell_faults, cell_label
 from repro.sim.runner import RunResult, run_once
-
-#: A worker task: (position-in-sweep, serialized config) pairs.
-_Cell = Tuple[int, dict]
-
-
-def _run_cells(task: Tuple[Optional[Callable], List[_Cell]]
-               ) -> List[Tuple[int, RunResult]]:
-    """Worker entry point: simulate one chunk of cells.
-
-    Top-level so it pickles under every multiprocessing start method.
-    Configs arrive as plain dicts and are re-hydrated here.
-    """
-    run_fn, cells = task
-    fn = run_fn or run_once
-    return [(pos, fn(SystemConfig.from_dict(data)))
-            for pos, data in cells]
 
 
 def derive_seed(base_seed: int, *parts) -> int:
@@ -116,6 +122,71 @@ def expand_grid(workloads: Sequence[str] = ("rnd",),
     return configs
 
 
+# -- failure accounting --------------------------------------------------------
+
+@dataclass
+class CellFailure:
+    """One quarantined cell: why the sweep gave up on it."""
+
+    key: str          # cache key / canonical identity
+    label: str        # human-readable cell_label()
+    attempts: int     # dispatches spent before quarantine
+    kind: str         # "error" | "timeout" | "worker-died"
+    error: str        # last traceback / diagnosis
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"key": self.key, "label": self.label,
+                "attempts": self.attempts, "kind": self.kind,
+                "error": self.error}
+
+
+@dataclass
+class FailureManifest:
+    """The cells a sweep could not complete, with their post-mortems."""
+
+    failures: List[CellFailure] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.failures)
+
+    def __bool__(self) -> bool:
+        return bool(self.failures)
+
+    def __iter__(self):
+        return iter(self.failures)
+
+    def labels(self) -> List[str]:
+        return [failure.label for failure in self.failures]
+
+    def format(self) -> str:
+        """Readable multi-line report (what the CLI prints)."""
+        if not self.failures:
+            return "failure manifest: empty"
+        lines = [f"failure manifest: {len(self.failures)} cell(s) "
+                 f"quarantined"]
+        for failure in self.failures:
+            lines.append(f"  {failure.label} [{failure.key[:12]}] — "
+                         f"{failure.kind} after {failure.attempts} "
+                         f"attempt(s)")
+            tail = failure.error.strip().splitlines()
+            if tail:
+                lines.append(f"    {tail[-1]}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"failed": len(self.failures),
+                "failures": [f.to_dict() for f in self.failures]}
+
+
+class SweepFailure(RuntimeError):
+    """Strict-mode terminal error: raised *after* the sweep completed
+    every healthy cell, carrying the manifest of the ones it didn't."""
+
+    def __init__(self, manifest: FailureManifest):
+        super().__init__(manifest.format())
+        self.manifest = manifest
+
+
 @dataclass
 class SweepStats:
     """What the last :meth:`SweepRunner.run` actually did."""
@@ -127,6 +198,11 @@ class SweepStats:
     jobs: int = 1
     wall_seconds: float = 0.0
     references: int = 0       # simulated references (fresh cells only)
+    failed: int = 0           # cells quarantined after exhausting retries
+    retries: int = 0          # re-dispatches (any reason)
+    timeouts: int = 0         # cell attempts killed for exceeding timeout
+    worker_deaths: int = 0    # workers that died mid-cell (and respawns)
+    manifest: FailureManifest = field(default_factory=FailureManifest)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -139,11 +215,94 @@ class SweepStats:
         return self.references / self.wall_seconds
 
     def summary(self) -> str:
-        return (f"{self.cells} cells ({self.unique} unique): "
+        text = (f"{self.cells} cells ({self.unique} unique): "
                 f"{self.cache_hits} cached, {self.simulated} simulated "
                 f"on {self.jobs} worker(s) in {self.wall_seconds:.2f} s"
                 + (f" ({self.refs_per_sec:,.0f} refs/s)"
                    if self.simulated else ""))
+        if self.failed or self.retries:
+            text += (f" [{self.failed} quarantined, "
+                     f"{self.retries} retried, "
+                     f"{self.timeouts} timeouts, "
+                     f"{self.worker_deaths} worker deaths]")
+        return text
+
+
+# -- supervised worker ---------------------------------------------------------
+
+class _CellWork:
+    """One unique cell's dispatch state inside the supervisor."""
+
+    __slots__ = ("pos", "key", "config", "data", "label", "attempt",
+                 "not_before")
+
+    def __init__(self, pos: int, key: str, config: SystemConfig):
+        self.pos = pos
+        self.key = key
+        self.config = config
+        self.data = config.to_dict()
+        self.label = cell_label(config)
+        self.attempt = 0          # dispatches so far
+        self.not_before = 0.0     # backoff gate (monotonic clock)
+
+
+class _Worker:
+    """A supervised worker process and its dispatch pipe."""
+
+    __slots__ = ("conn", "process", "cell", "deadline")
+
+    def __init__(self, conn, process):
+        self.conn = conn
+        self.process = process
+        self.cell: Optional[_CellWork] = None
+        self.deadline: Optional[float] = None
+
+
+def _supervised_worker(conn, run_fn: Optional[Callable],
+                       plan_text: Optional[str]) -> None:
+    """Worker loop: receive ``(pos, config-dict, attempt)``, simulate,
+    send back ``(pos, ok, result-or-traceback)``.
+
+    Every exception is captured and reported per cell, so one bad cell
+    cannot poison its worker or any other cell; abrupt process death
+    (SIGKILL, segfault, OOM) is the supervisor's job to notice via the
+    process sentinel.  Top-level so it pickles under every
+    multiprocessing start method.
+    """
+    plan = FaultPlan.parse(plan_text) if plan_text else None
+    fn = run_fn or run_once
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            return
+        if task is None:
+            return
+        pos, data, attempt = task
+        try:
+            config = SystemConfig.from_dict(data)
+            if plan is not None:
+                apply_cell_faults(plan, cell_label(config), attempt)
+            outcome = (pos, True, fn(config))
+        except Exception:
+            outcome = (pos, False, traceback.format_exc())
+        try:
+            conn.send(outcome)
+        except (BrokenPipeError, OSError):
+            return
+
+
+def _ensure_picklable(run_fn: Callable) -> None:
+    """Fail fast — before any worker is spawned — on a ``run_fn`` the
+    pool could not ship (lambda, closure, bound local), instead of the
+    opaque mid-sweep ``PicklingError`` the old pool loop produced."""
+    try:
+        pickle.dumps(run_fn)
+    except Exception as exc:
+        raise ValueError(
+            f"run_fn {run_fn!r} is not picklable, so it cannot be "
+            f"dispatched to worker processes (jobs > 1): pass a "
+            f"top-level function, or run with jobs=1") from exc
 
 
 class SweepRunner:
@@ -165,12 +324,40 @@ class SweepRunner:
         Convenience: build a ``ResultCache`` rooted here.  Ignored
         when ``cache`` is given.
     chunk_size:
-        Cells per worker task.  ``None`` picks a size that gives each
-        worker a few tasks (amortizes IPC without starving the pool).
+        Unused since the supervised runner dispatches per cell (the
+        per-cell outcome tracking the fault tolerance needs); accepted
+        for backward compatibility.
+    retries:
+        Re-dispatches granted to a failing cell before it is
+        quarantined (``retries=1`` means at most 2 attempts).
+    cell_timeout:
+        Seconds one cell attempt may run before its worker is killed
+        and the cell re-dispatched (counts as a failure).  ``None``
+        disables the timeout.  Enforced on the supervised pool path
+        (``jobs > 1``); the in-process serial path cannot preempt a
+        wedged cell.
+    backoff:
+        Base delay in seconds before re-dispatching a failed cell;
+        doubles per subsequent attempt (exponential backoff).
+    strict:
+        ``True`` (default): raise :class:`SweepFailure` at the end of
+        the sweep when any cell was quarantined — after completing and
+        persisting every healthy cell.  ``False``: return ``None`` in
+        the failed cells' result slots ("keep going" mode).
+    fault_plan:
+        A :class:`~repro.sim.faults.FaultPlan` (or its text form) to
+        inject deterministic faults; defaults to the
+        ``REPRO_FAULT_PLAN`` environment variable.  Production sweeps
+        leave this unset.
     """
 
     def __init__(self, jobs: Optional[int] = 1, cache=None,
-                 cache_dir=None, chunk_size: Optional[int] = None):
+                 cache_dir=None, chunk_size: Optional[int] = None,
+                 retries: int = 1,
+                 cell_timeout: Optional[float] = None,
+                 backoff: float = 0.25,
+                 strict: bool = True,
+                 fault_plan: Optional[Union[FaultPlan, str]] = None):
         if cache is None and cache_dir is not None:
             from repro.analysis.cache import ResultCache
             cache = ResultCache(cache_dir)
@@ -178,6 +365,11 @@ class SweepRunner:
                         else (os.cpu_count() or 1))
         self.cache = cache
         self.chunk_size = chunk_size
+        self.retries = max(0, retries)
+        self.cell_timeout = cell_timeout
+        self.backoff = max(0.0, backoff)
+        self.strict = strict
+        self.fault_plan = fault_plan
         self.last_stats = SweepStats()
 
     # -- identity ----------------------------------------------------
@@ -187,12 +379,25 @@ class SweepRunner:
             return self.cache.key(config)
         return config.canonical_json()
 
+    def _active_plan(self) -> Optional[FaultPlan]:
+        plan = self.fault_plan
+        if isinstance(plan, str):
+            plan = FaultPlan.parse(plan)
+        if plan is None:
+            plan = FaultPlan.from_env()
+        return plan if plan else None
+
     # -- execution ---------------------------------------------------
 
     def run(self, configs: Sequence[SystemConfig],
             run_fn: Optional[Callable[[SystemConfig], RunResult]] = None
-            ) -> List[RunResult]:
+            ) -> List[Optional[RunResult]]:
         """Simulate every config; return results in input order.
+
+        Quarantined cells (see class docstring) yield ``None`` slots
+        when ``strict=False``; with ``strict=True`` the sweep still
+        completes every healthy cell (persisting them to the cache)
+        and then raises :class:`SweepFailure` with the manifest.
 
         ``run_fn`` is an instrumentation seam, not an alternate
         simulator: it must be observationally equivalent to
@@ -225,52 +430,273 @@ class SweepRunner:
                            simulated=len(missing), jobs=self.jobs)
 
         if missing:
-            if self.jobs == 1 or len(missing) == 1:
-                self._run_serial(missing, results, run_fn)
+            plan = self._active_plan()
+            use_pool = self.jobs > 1 and (
+                len(missing) > 1 or self.cell_timeout is not None)
+            if use_pool:
+                if run_fn is not None:
+                    _ensure_picklable(run_fn)
+                self._run_supervised(missing, results, run_fn, stats,
+                                     plan)
             else:
-                self._run_pool(missing, results, run_fn)
+                self._run_serial(missing, results, run_fn, stats,
+                                 plan)
 
+        stats.failed = len(stats.manifest)
         stats.references = sum(
             results[key].references for key, _ in missing
             if key in results)
         stats.wall_seconds = time.perf_counter() - start
         self.last_stats = stats
-        return [results[key] for key in keys]
+        if self.strict and stats.manifest:
+            raise SweepFailure(stats.manifest)
+        return [results.get(key) for key in keys]
 
     def _store(self, key: str, config: SystemConfig,
                result: RunResult) -> None:
         if self.cache is not None:
             self.cache.store(config, result, key=key)
 
-    def _run_serial(self, missing, results, run_fn) -> None:
+    # -- serial path -------------------------------------------------
+
+    def _run_serial(self, missing, results, run_fn, stats,
+                    plan) -> None:
+        """In-process execution with per-cell capture and retries.
+
+        No timeout or kill recovery here — a wedged or killed cell
+        takes the process with it; the pool path owns those.
+        ``KeyboardInterrupt`` still aborts promptly (it is not an
+        ``Exception``), leaving the cache holding the finished cells.
+        """
         fn = run_fn or run_once
         for key, config in missing:
-            result = fn(config)
-            results[key] = result
-            self._store(key, config, result)
+            label = cell_label(config)
+            last_error = ""
+            attempts = 0
+            for attempt in range(1, self.retries + 2):
+                attempts = attempt
+                if attempt > 1:
+                    stats.retries += 1
+                    if self.backoff:
+                        time.sleep(self.backoff * (2 ** (attempt - 2)))
+                try:
+                    if plan is not None:
+                        apply_cell_faults(plan, label, attempt)
+                    result = fn(config)
+                except Exception:
+                    last_error = traceback.format_exc()
+                    continue
+                results[key] = result
+                self._store(key, config, result)
+                break
+            else:
+                stats.manifest.failures.append(CellFailure(
+                    key=key, label=label, attempts=attempts,
+                    kind="error", error=last_error))
 
-    def _run_pool(self, missing, results, run_fn) -> None:
-        cells: List[_Cell] = [
-            (pos, config.to_dict())
-            for pos, (_, config) in enumerate(missing)]
-        chunk = self.chunk_size or max(
-            1, min(8, len(cells) // (self.jobs * 4) or 1))
-        tasks = [(run_fn, cells[i:i + chunk])
-                 for i in range(0, len(cells), chunk)]
-        workers = min(self.jobs, len(tasks))
-        # Persist each chunk as it lands so an interrupt (Ctrl-C, CI
-        # timeout) keeps everything finished so far; the pool context
-        # manager tears workers down on the way out either way.
-        with multiprocessing.Pool(processes=workers) as pool:
-            for done in pool.imap_unordered(_run_cells, tasks):
-                for pos, result in done:
-                    key, config = missing[pos]
-                    results[key] = result
-                    self._store(key, config, result)
+    # -- supervised pool path ----------------------------------------
+
+    def _run_supervised(self, missing, results, run_fn, stats,
+                        plan) -> None:
+        """Dispatch cells to supervised workers; survive their faults.
+
+        One pipe per worker; ``connection.wait`` multiplexes result
+        pipes and process sentinels, so a worker death (SIGKILL,
+        segfault, OOM kill) wakes the supervisor immediately.  Wedged
+        workers are caught by the per-cell deadline and killed.  Lost
+        or failed cells are re-dispatched with exponential backoff
+        until their attempt budget runs out, then quarantined.
+        """
+        plan_text = plan.to_text() if plan is not None else None
+        ready: deque = deque(
+            _CellWork(pos, key, config)
+            for pos, (key, config) in enumerate(missing))
+        waiting: List[_CellWork] = []     # cells in backoff delay
+        outstanding = len(missing)
+        timeout = self.cell_timeout
+        workers = [self._spawn(run_fn, plan_text)
+                   for _ in range(min(self.jobs, len(missing)))]
+        try:
+            while outstanding:
+                now = time.monotonic()
+                if waiting:
+                    due = [c for c in waiting if c.not_before <= now]
+                    if due:
+                        waiting = [c for c in waiting
+                                   if c.not_before > now]
+                        ready.extend(due)
+
+                # Dispatch ready cells onto idle workers.
+                for i, worker in enumerate(workers):
+                    if worker.cell is not None or not ready:
+                        continue
+                    cell = ready.popleft()
+                    cell.attempt += 1
+                    if cell.attempt > 1:
+                        stats.retries += 1
+                    try:
+                        worker.conn.send(
+                            (cell.pos, cell.data, cell.attempt))
+                    except (BrokenPipeError, OSError):
+                        # Worker died while idle: the attempt never
+                        # started, so it doesn't count against the cell.
+                        cell.attempt -= 1
+                        if cell.attempt > 1:
+                            stats.retries -= 1
+                        ready.appendleft(cell)
+                        workers[i] = self._respawn(worker, run_fn,
+                                                   plan_text)
+                        continue
+                    worker.cell = cell
+                    worker.deadline = (now + timeout) if timeout else None
+
+                busy = [w for w in workers if w.cell is not None]
+                sleeps = [w.deadline - now for w in busy
+                          if w.deadline is not None]
+                sleeps += [c.not_before - now for c in waiting]
+                wait_for = max(0.0, min(sleeps)) if sleeps else None
+                if not busy:
+                    # Everything is backoff-delayed; sleep it off.
+                    if wait_for:
+                        time.sleep(wait_for)
+                    continue
+
+                objects = [w.conn for w in busy]
+                objects += [w.process.sentinel for w in busy]
+                ready_objects = connection.wait(objects,
+                                                timeout=wait_for)
+                now = time.monotonic()
+                for i, worker in enumerate(workers):
+                    if worker.cell is None:
+                        continue
+                    if worker.conn in ready_objects:
+                        outstanding -= self._collect(worker, results,
+                                                     waiting, stats,
+                                                     now)
+                        if worker.cell is not None:
+                            # recv failed: the worker died mid-send.
+                            outstanding -= self._lost(
+                                worker, "worker-died", waiting, stats,
+                                now)
+                            workers[i] = self._respawn(worker, run_fn,
+                                                       plan_text)
+                    elif worker.process.sentinel in ready_objects:
+                        # Dead worker; drain a result it may have
+                        # flushed before dying.
+                        if worker.conn.poll():
+                            outstanding -= self._collect(
+                                worker, results, waiting, stats, now)
+                        if worker.cell is not None:
+                            outstanding -= self._lost(
+                                worker, "worker-died", waiting, stats,
+                                now)
+                        workers[i] = self._respawn(worker, run_fn,
+                                                   plan_text)
+                    elif (worker.deadline is not None
+                          and now >= worker.deadline):
+                        stats.timeouts += 1
+                        outstanding -= self._lost(
+                            worker, "timeout", waiting, stats, now)
+                        workers[i] = self._respawn(worker, run_fn,
+                                                   plan_text,
+                                                   kill=True)
+        finally:
+            self._shutdown(workers)
+
+    def _collect(self, worker: _Worker, results, waiting, stats,
+                 now: float) -> int:
+        """Receive one outcome; returns settled cells (0 or 1).
+
+        Leaves ``worker.cell`` set when the recv itself failed (the
+        caller then treats the worker as dead).
+        """
+        try:
+            _pos, ok, payload = worker.conn.recv()
+        except (EOFError, OSError):
+            return 0
+        cell = worker.cell
+        worker.cell = None
+        worker.deadline = None
+        if ok:
+            results[cell.key] = payload
+            self._store(cell.key, cell.config, payload)
+            return 1
+        return self._failed(cell, "error", payload, waiting, stats,
+                            now)
+
+    def _lost(self, worker: _Worker, kind: str, waiting, stats,
+              now: float) -> int:
+        """Account a cell whose worker died or was killed for timeout."""
+        cell = worker.cell
+        worker.cell = None
+        worker.deadline = None
+        if kind == "timeout":
+            error = (f"cell exceeded cell_timeout="
+                     f"{self.cell_timeout}s on attempt "
+                     f"{cell.attempt}; worker killed")
+        else:
+            stats.worker_deaths += 1
+            error = (f"worker died (exit code "
+                     f"{worker.process.exitcode}) while running "
+                     f"attempt {cell.attempt}")
+        return self._failed(cell, kind, error, waiting, stats, now)
+
+    def _failed(self, cell: _CellWork, kind: str, error: str, waiting,
+                stats, now: float) -> int:
+        """Retry or quarantine a failed attempt; returns settled cells."""
+        if cell.attempt >= self.retries + 1:
+            stats.manifest.failures.append(CellFailure(
+                key=cell.key, label=cell.label,
+                attempts=cell.attempt, kind=kind, error=error))
+            return 1
+        cell.not_before = now + self.backoff * (2 ** (cell.attempt - 1))
+        waiting.append(cell)
+        return 0
+
+    # -- worker lifecycle --------------------------------------------
+
+    def _spawn(self, run_fn, plan_text) -> _Worker:
+        parent, child = multiprocessing.Pipe()
+        process = multiprocessing.Process(
+            target=_supervised_worker, args=(child, run_fn, plan_text),
+            daemon=True)
+        process.start()
+        child.close()
+        return _Worker(parent, process)
+
+    def _respawn(self, worker: _Worker, run_fn, plan_text,
+                 kill: bool = False) -> _Worker:
+        if kill and worker.process.is_alive():
+            worker.process.terminate()
+            worker.process.join(timeout=2.0)
+            if worker.process.is_alive():
+                worker.process.kill()
+        worker.process.join(timeout=2.0)
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        return self._spawn(run_fn, plan_text)
+
+    def _shutdown(self, workers: List[_Worker]) -> None:
+        for worker in workers:
+            try:
+                worker.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in workers:
+            worker.process.join(timeout=2.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
 
 
 def run_sweep(configs: Sequence[SystemConfig],
               jobs: Optional[int] = 1,
-              cache_dir=None) -> List[RunResult]:
+              cache_dir=None) -> List[Optional[RunResult]]:
     """One-shot convenience wrapper around :class:`SweepRunner`."""
     return SweepRunner(jobs=jobs, cache_dir=cache_dir).run(configs)

@@ -1,12 +1,15 @@
-"""Tests for the on-disk result cache (hit/miss/invalidation/exactness)."""
+"""Tests for the on-disk result cache (hit/miss/invalidation/exactness,
+entry checksums, corruption quarantine, verify/gc)."""
 
 import dataclasses
 import json
 
 from repro.analysis.cache import (
     CODE_VERSION,
+    QUARANTINE_DIR,
     ResultCache,
     config_key,
+    payload_checksum,
     result_from_dict,
     result_to_dict,
 )
@@ -81,12 +84,21 @@ class TestResultCache:
         new = ResultCache(tmp_path, code_version="sim-v2")
         assert new.load(cfg) is None
 
-    def test_corrupt_entry_is_a_miss(self, tmp_path):
+    def test_corrupt_entry_is_a_miss_and_quarantined(self, tmp_path):
+        """Truncated JSON: miss, and the file moves to quarantine/ so
+        it is not re-parsed (and re-failed) on every future run."""
         cache = ResultCache(tmp_path)
         cfg = tiny_config()
         cache.store(cfg, run_once(cfg))
         cache.path(cfg).write_text("{ truncated")
         assert cache.load(cfg) is None
+        assert cache.stats.corrupt == 1
+        assert not cache.path(cfg).exists()
+        quarantined = tmp_path / QUARANTINE_DIR / cache.path(cfg).name
+        assert quarantined.exists()
+        # The slot is free: a re-store then hits again.
+        cache.store(cfg, run_once(cfg))
+        assert cache.load(cfg) is not None
 
     def test_stale_entry_shape_is_a_miss(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -103,9 +115,11 @@ class TestResultCache:
         entry = json.loads(cache.path(cfg).read_text())
         entry["result"]["bogus_old_field"] = 1          # unexpected kw
         del entry["result"]["cycles"]                   # missing kw
+        entry["sha256"] = payload_checksum(entry["result"])
         cache.path(cfg).write_text(json.dumps(entry))
-        assert cache.load(cfg) is None
+        assert cache.load(cfg) is None                  # wrong shape
 
+        cache.store(cfg, run_once(cfg))
         entry = json.loads(cache.path(cfg).read_text())
         del entry["result"]
         cache.path(cfg).write_text(json.dumps(entry))
@@ -135,3 +149,155 @@ class TestResultCache:
         cache.store(cfg, run_once(cfg))
         cache.load(cfg)
         assert cache.stats.hit_rate == 0.5
+
+
+class TestEntryIntegrity:
+    def test_store_writes_v2_with_checksum(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cfg = tiny_config()
+        cache.store(cfg, run_once(cfg))
+        entry = json.loads(cache.path(cfg).read_text())
+        assert entry["format"] == 2
+        assert entry["code_version"] == CODE_VERSION
+        assert entry["sha256"] == payload_checksum(entry["result"])
+
+    def test_checksum_mismatch_is_corrupt(self, tmp_path):
+        """A bit flip that keeps the JSON valid must not be served."""
+        cache = ResultCache(tmp_path)
+        cfg = tiny_config()
+        cache.store(cfg, run_once(cfg))
+        entry = json.loads(cache.path(cfg).read_text())
+        entry["result"]["cycles"] += 1.0        # plausible but wrong
+        cache.path(cfg).write_text(json.dumps(entry))
+        assert cache.load(cfg) is None
+        assert cache.stats.corrupt == 1
+        assert (tmp_path / QUARANTINE_DIR / cache.path(cfg).name).exists()
+
+    def test_stale_code_version_not_quarantined(self, tmp_path):
+        """Another code version is a miss, not corruption: the bytes
+        are fine and gc (not load) decides their fate."""
+        old = ResultCache(tmp_path, code_version="sim-v1")
+        cfg = tiny_config()
+        old.store(cfg, run_once(cfg))
+        new = ResultCache(tmp_path, code_version="sim-v2")
+        assert new.load(cfg) is None
+        assert new.stats.corrupt == 0
+        assert old.path(cfg).exists()
+
+    def test_v1_entry_readable_and_migrated(self, tmp_path):
+        """Pre-checksum entries still hit, and the first load rewrites
+        them as v2 so integrity covers them from then on."""
+        cache = ResultCache(tmp_path)
+        cfg = tiny_config()
+        result = run_once(cfg)
+        v1 = {
+            "format": 1,
+            "code_version": CODE_VERSION,
+            "result": result_to_dict(result),
+        }
+        cache.root.mkdir(parents=True, exist_ok=True)
+        cache.path(cfg).write_text(json.dumps(v1) + "\n")
+
+        loaded = cache.load(cfg)
+        assert loaded is not None
+        assert dataclasses.asdict(loaded) == dataclasses.asdict(result)
+        assert cache.stats.hits == 1
+
+        migrated = json.loads(cache.path(cfg).read_text())
+        assert migrated["format"] == 2
+        assert migrated["sha256"] == payload_checksum(migrated["result"])
+        # And the migrated entry is bit-identical on a re-load.
+        again = cache.load(cfg)
+        assert dataclasses.asdict(again) == dataclasses.asdict(result)
+
+
+class TestVerifyAndGc:
+    def _populate(self, tmp_path):
+        """3 good entries, 1 checksum-corrupt, 1 stale, 1 tmp orphan."""
+        cache = ResultCache(tmp_path)
+        for seed in (1, 2, 3, 4):
+            cfg = tiny_config(seed=seed)
+            cache.store(cfg, run_once(cfg))
+        bad = cache.path(tiny_config(seed=4))
+        entry = json.loads(bad.read_text())
+        entry["result"]["cycles"] += 1.0
+        bad.write_text(json.dumps(entry))
+
+        stale = ResultCache(tmp_path, code_version="sim-v0")
+        cfg = tiny_config(seed=9)
+        stale.store(cfg, run_once(cfg))
+        (tmp_path / "deadbeef.tmp.999").write_text("partial")
+        return cache
+
+    def test_verify_reports_and_quarantines(self, tmp_path):
+        cache = self._populate(tmp_path)
+        report = cache.verify()
+        assert report.checked == 5
+        assert report.ok == 3
+        assert report.corrupt == 1
+        assert report.stale == 1
+        assert report.tmp_orphans == 1
+        assert report.quarantined_total == 1
+        assert "3 ok" in report.summary()
+        # Idempotent: a second pass finds nothing new to quarantine.
+        second = cache.verify()
+        assert second.corrupt == 0
+        assert second.ok == 3
+        assert second.quarantined_total == 1
+
+    def test_gc_removes_waste_keeps_live_entries(self, tmp_path):
+        cache = self._populate(tmp_path)
+        cache.verify()   # corrupt entry -> quarantine/
+        removed = cache.gc()
+        assert removed == {"tmp_orphans": 1, "stale": 1, "corrupt": 0,
+                           "quarantined": 1}
+        assert len(cache) == 3
+        for seed in (1, 2, 3):
+            assert cache.load(tiny_config(seed=seed)) is not None
+
+    def test_gc_without_verify_removes_corrupt_directly(self, tmp_path):
+        cache = self._populate(tmp_path)
+        removed = cache.gc()
+        assert removed["corrupt"] == 1
+        assert removed["stale"] == 1
+        assert len(cache) == 3
+
+    def test_verify_empty_cache(self, tmp_path):
+        report = ResultCache(tmp_path / "never-written").verify()
+        assert report.checked == 0
+        assert report.quarantined_total == 0
+
+
+class TestConcurrentClear:
+    def test_clear_tolerates_concurrent_deletion(self, tmp_path):
+        """A second process clearing the same directory must not make
+        ours crash with FileNotFoundError mid-iteration."""
+        cache = ResultCache(tmp_path)
+        paths = []
+        for seed in (1, 2, 3):
+            cfg = tiny_config(seed=seed)
+            cache.store(cfg, run_once(cfg))
+            paths.append(cache.path(cfg))
+
+        class RacingPath:
+            """Delegates to the real root but deletes one listed entry
+            before glob() returns — a stale directory listing."""
+
+            def __init__(self, real, victim):
+                self._real, self._victim = real, victim
+
+            def glob(self, pattern):
+                listing = list(self._real.glob(pattern))
+                if self._victim in listing:
+                    self._victim.unlink()
+                return listing
+
+            def __truediv__(self, other):
+                return self._real / other
+
+            def __getattr__(self, name):
+                return getattr(self._real, name)
+
+        cache.root = RacingPath(tmp_path, paths[1])
+        assert cache.clear() == 2       # the race winner isn't counted
+        assert not any(p.exists() for p in paths)

@@ -1,0 +1,379 @@
+"""Tests for fault injection and sweep fault tolerance.
+
+Every recovery path the supervisor advertises is driven here through
+a deterministic :class:`FaultPlan`: failing cells retry and quarantine,
+wedged cells trip the timeout, SIGKILLed workers respawn, corrupted
+cache entries are caught by checksum — and a sweep under faults still
+completes every healthy cell bit-identically to a fault-free run.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.analysis.cache import ResultCache
+from repro.sim.faults import (
+    FAULT_PLAN_ENV,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    apply_cell_faults,
+    cell_label,
+    corrupt_entry,
+    maybe_corrupt_entry,
+    reset_fired,
+)
+from repro.sim.runner import run_once
+from repro.sim.sweep import (
+    SweepFailure,
+    SweepRunner,
+    expand_grid,
+)
+
+TINY = dict(refs_per_core=300, scale=1 / 64, seed=7)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_fault_state(monkeypatch):
+    """No plan leaks in from the environment; one-shot state resets."""
+    monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+    reset_fired()
+    yield
+    reset_fired()
+
+
+def tiny_grid(workloads=("rnd", "bfs"), mechanisms=("radix", "ndpage")):
+    return expand_grid(workloads=workloads, mechanisms=mechanisms,
+                       **TINY)
+
+
+def fields(result) -> dict:
+    return dataclasses.asdict(result)
+
+
+class TestFaultPlanParsing:
+    def test_parse_clauses(self):
+        plan = FaultPlan.parse(
+            "fail:bfs/ndpage/:*;hang:xs/radix/:1:30;"
+            "kill:rnd/radix/:1,2;corrupt:bfs/radix/")
+        assert [s.action for s in plan.specs] == \
+            ["fail", "hang", "kill", "corrupt"]
+        assert plan.specs[0].attempts is None
+        assert plan.specs[1].seconds == 30.0
+        assert plan.specs[2].attempts == (1, 2)
+
+    def test_round_trip(self):
+        text = "fail:bfs/ndpage/:1,2;hang:xs/radix/:*:5.0;kill:rnd/:3"
+        assert FaultPlan.parse(FaultPlan.parse(text).to_text()) \
+            .to_text() == FaultPlan.parse(text).to_text()
+
+    def test_bad_clause_raises(self):
+        with pytest.raises(ValueError, match="bad fault clause"):
+            FaultPlan.parse("explode:everything")
+        with pytest.raises(ValueError, match="bad fault clause"):
+            FaultPlan.parse("fail")
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan.parse("")
+        assert not FaultPlan()
+        assert FaultPlan.parse("fail:x:*")
+
+    def test_from_env(self, monkeypatch):
+        assert FaultPlan.from_env() is None
+        monkeypatch.setenv(FAULT_PLAN_ENV, "fail:bfs/:1")
+        plan = FaultPlan.from_env()
+        assert plan is not None
+        assert plan.specs[0].match == "bfs/"
+
+    def test_applies_attempt_matching(self):
+        spec = FaultSpec("fail", "bfs/ndpage/", attempts=(1,))
+        assert spec.applies("bfs/ndpage/ndp/1c/s7", 1)
+        assert not spec.applies("bfs/ndpage/ndp/1c/s7", 2)
+        assert not spec.applies("rnd/radix/ndp/1c/s7", 1)
+        # attempt=None (store-side matching) ignores the attempt filter
+        assert spec.applies("bfs/ndpage/ndp/1c/s7", None)
+
+    def test_cell_label_shape(self):
+        config = tiny_grid()[0]
+        label = cell_label(config)
+        assert label == (f"{config.workload}/{config.mechanism}/"
+                         f"{config.system}/{config.num_cores}c/"
+                         f"s{config.seed}")
+
+
+class TestApplyCellFaults:
+    def test_fail_raises_injected_fault(self):
+        plan = FaultPlan.parse("fail:bfs/ndpage/:*")
+        with pytest.raises(InjectedFault, match="bfs/ndpage"):
+            apply_cell_faults(plan, "bfs/ndpage/ndp/1c/s7", 1)
+
+    def test_no_match_is_a_no_op(self):
+        plan = FaultPlan.parse("fail:bfs/ndpage/:*")
+        apply_cell_faults(plan, "rnd/radix/ndp/1c/s7", 1)
+
+    def test_attempt_gated_fail(self):
+        plan = FaultPlan.parse("fail:bfs/:1")
+        with pytest.raises(InjectedFault):
+            apply_cell_faults(plan, "bfs/radix/ndp/1c/s7", 1)
+        apply_cell_faults(plan, "bfs/radix/ndp/1c/s7", 2)  # recovers
+
+
+class TestCorruptEntry:
+    def test_valid_json_payload_perturbed(self, tmp_path):
+        """The adversarial case: still-parseable JSON, wrong payload."""
+        path = tmp_path / "entry.json"
+        entry = {"format": 2, "result": {"cycles": 100.0}}
+        path.write_text(json.dumps(entry))
+        corrupt_entry(path)
+        after = json.loads(path.read_text())
+        assert after["result"]["cycles"] == 101.0
+
+    def test_unparseable_entry_truncated(self, tmp_path):
+        path = tmp_path / "entry.json"
+        path.write_text("this is not json at all")
+        corrupt_entry(path)
+        assert len(path.read_text()) < len("this is not json at all")
+
+    def test_maybe_corrupt_is_one_shot(self, tmp_path):
+        plan = FaultPlan.parse("corrupt:bfs/radix/")
+        path = tmp_path / "entry.json"
+        path.write_text(json.dumps({"result": {"cycles": 1.0}}))
+        assert maybe_corrupt_entry(path, "bfs/radix/ndp/1c/s7",
+                                   plan=plan)
+        assert not maybe_corrupt_entry(path, "bfs/radix/ndp/1c/s7",
+                                       plan=plan)
+        assert json.loads(path.read_text())["result"]["cycles"] == 2.0
+
+    def test_maybe_corrupt_no_plan(self, tmp_path):
+        path = tmp_path / "entry.json"
+        path.write_text("{}")
+        assert not maybe_corrupt_entry(path, "bfs/radix/ndp/1c/s7")
+
+
+class TestSerialFaultTolerance:
+    def test_keep_going_leaves_hole_and_manifest(self):
+        configs = tiny_grid()
+        bad = cell_label(configs[1])
+        runner = SweepRunner(jobs=1, strict=False, retries=1,
+                             backoff=0.0,
+                             fault_plan=f"fail:{bad}:*")
+        results = runner.run(configs)
+        assert results[1] is None
+        assert all(r is not None
+                   for i, r in enumerate(results) if i != 1)
+        stats = runner.last_stats
+        assert stats.failed == 1
+        assert stats.retries == 1          # 2 attempts = 1 retry
+        assert stats.manifest.labels() == [bad]
+        failure = stats.manifest.failures[0]
+        assert failure.kind == "error"
+        assert failure.attempts == 2
+        assert "InjectedFault" in failure.error
+        assert bad in stats.manifest.format()
+        assert "quarantined" in stats.summary()
+
+    def test_strict_raises_after_completing_others(self, tmp_path):
+        configs = tiny_grid()
+        bad = cell_label(configs[0])
+        cache = ResultCache(tmp_path)
+        runner = SweepRunner(jobs=1, cache=cache, strict=True,
+                             retries=0, backoff=0.0,
+                             fault_plan=f"fail:{bad}:*")
+        with pytest.raises(SweepFailure) as excinfo:
+            runner.run(configs)
+        assert excinfo.value.manifest.labels() == [bad]
+        # Every healthy cell was still completed and persisted.
+        assert len(cache) == len(configs) - 1
+
+    def test_retry_recovers_flaky_cell(self):
+        configs = tiny_grid()
+        flaky = cell_label(configs[2])
+        runner = SweepRunner(jobs=1, retries=1, backoff=0.0,
+                             fault_plan=f"fail:{flaky}:1")
+        results = runner.run(configs)
+        assert all(r is not None for r in results)
+        assert runner.last_stats.retries == 1
+        assert not runner.last_stats.manifest
+        # The recovered result is bit-identical to a clean run.
+        assert fields(results[2]) == fields(run_once(configs[2]))
+
+    def test_retries_zero_means_one_attempt(self):
+        configs = tiny_grid()
+        runner = SweepRunner(jobs=1, strict=False, retries=0,
+                             backoff=0.0,
+                             fault_plan=f"fail:{cell_label(configs[0])}:1")
+        results = runner.run(configs)
+        assert results[0] is None
+        assert runner.last_stats.manifest.failures[0].attempts == 1
+
+    def test_plan_from_environment(self, monkeypatch):
+        configs = tiny_grid()
+        monkeypatch.setenv(FAULT_PLAN_ENV,
+                           f"fail:{cell_label(configs[0])}:*")
+        runner = SweepRunner(jobs=1, strict=False, retries=0,
+                             backoff=0.0)
+        results = runner.run(configs)
+        assert results[0] is None
+        assert runner.last_stats.failed == 1
+
+
+class TestSupervisedFaultTolerance:
+    def test_worker_kill_recovers_bit_identically(self):
+        """SIGKILL mid-cell: the sentinel wakes the supervisor, the
+        worker is respawned, the cell re-dispatched and completed."""
+        configs = tiny_grid()
+        victim = cell_label(configs[1])
+        runner = SweepRunner(jobs=2, retries=1, backoff=0.01,
+                             fault_plan=f"kill:{victim}:1")
+        results = runner.run(configs)
+        assert all(r is not None for r in results)
+        stats = runner.last_stats
+        assert stats.worker_deaths >= 1
+        assert stats.retries >= 1
+        assert not stats.manifest
+        assert fields(results[1]) == fields(run_once(configs[1]))
+
+    def test_worker_kill_exhausts_retries_into_manifest(self):
+        configs = tiny_grid()
+        victim = cell_label(configs[0])
+        runner = SweepRunner(jobs=2, strict=False, retries=1,
+                             backoff=0.01,
+                             fault_plan=f"kill:{victim}:*")
+        results = runner.run(configs)
+        assert results[0] is None
+        assert all(r is not None for r in results[1:])
+        failure = runner.last_stats.manifest.failures[0]
+        assert failure.kind == "worker-died"
+        assert failure.attempts == 2
+        assert "worker died" in failure.error
+
+    def test_hung_cell_trips_timeout(self):
+        configs = tiny_grid()
+        wedged = cell_label(configs[1])
+        runner = SweepRunner(jobs=2, strict=False, retries=0,
+                             cell_timeout=1.0, backoff=0.01,
+                             fault_plan=f"hang:{wedged}:*:30")
+        results = runner.run(configs)
+        assert results[1] is None
+        assert all(r is not None
+                   for i, r in enumerate(results) if i != 1)
+        stats = runner.last_stats
+        assert stats.timeouts == 1
+        failure = stats.manifest.failures[0]
+        assert failure.kind == "timeout"
+        assert "cell_timeout" in failure.error
+
+    def test_failing_cell_in_pool_quarantined(self):
+        configs = tiny_grid()
+        bad = cell_label(configs[3])
+        runner = SweepRunner(jobs=2, strict=False, retries=1,
+                             backoff=0.01,
+                             fault_plan=f"fail:{bad}:*")
+        results = runner.run(configs)
+        assert results[3] is None
+        failure = runner.last_stats.manifest.failures[0]
+        assert failure.kind == "error"
+        assert "InjectedFault" in failure.error
+
+    def test_resume_after_worker_kill(self, tmp_path):
+        """An always-killed cell quarantines; the healthy cells land in
+        the cache, and a clean re-run simulates only the casualty."""
+        configs = tiny_grid()
+        victim = cell_label(configs[2])
+        first = SweepRunner(jobs=2, cache_dir=tmp_path, strict=False,
+                            retries=1, backoff=0.01,
+                            fault_plan=f"kill:{victim}:*")
+        results = first.run(configs)
+        assert results[2] is None
+        assert first.last_stats.failed == 1
+
+        second = SweepRunner(jobs=1, cache_dir=tmp_path)
+        resumed = second.run(configs)
+        assert all(r is not None for r in resumed)
+        assert second.last_stats.simulated == 1
+        assert second.last_stats.cache_hits == len(configs) - 1
+        assert fields(resumed[2]) == fields(run_once(configs[2]))
+
+    def test_unpicklable_run_fn_fails_fast(self):
+        configs = tiny_grid()
+        runner = SweepRunner(jobs=2)
+        with pytest.raises(ValueError, match="not picklable"):
+            runner.run(configs, run_fn=lambda config: run_once(config))
+
+
+class TestCorruptionThroughSweep:
+    def test_corrupt_entry_caught_on_next_load(self, tmp_path):
+        """A corrupt clause perturbs the entry at store time; the next
+        sweep's checksum check catches it and re-simulates the cell."""
+        configs = tiny_grid()
+        target = cell_label(configs[0])
+        plan = FaultPlan.parse(f"corrupt:{target}")
+        cache = ResultCache(tmp_path, fault_plan=plan)
+        SweepRunner(jobs=1, cache=cache).run(configs)
+
+        clean_cache = ResultCache(tmp_path)
+        runner = SweepRunner(jobs=1, cache=clean_cache)
+        results = runner.run(configs)
+        assert clean_cache.stats.corrupt == 1
+        assert runner.last_stats.simulated == 1
+        assert runner.last_stats.cache_hits == len(configs) - 1
+        # The re-simulated result is the real one, not the corrupted.
+        assert fields(results[0]) == fields(run_once(configs[0]))
+
+
+class TestAcceptance20Cells:
+    """The ISSUE's acceptance scenario: a 20-cell sweep under injected
+    faults completes every healthy cell, quarantines the faulty ones,
+    and a follow-up run re-simulates only quarantined/missing cells."""
+
+    GRID = dict(workloads=("rnd", "bfs"),
+                mechanisms=("radix", "ndpage", "ech", "hugepage",
+                            "ideal"),
+                systems=("ndp", "cpu"),
+                refs_per_core=120, scale=1 / 64, seed=7)
+
+    def test_chaos_sweep_completes_then_resumes(self, tmp_path):
+        configs = expand_grid(**self.GRID)
+        assert len(configs) == 20
+        labels = [cell_label(c) for c in configs]
+        doomed = labels[labels.index("bfs/ndpage/ndp/1c/s7")]
+        wedged = labels[labels.index("rnd/ech/ndp/1c/s7")]
+        killed = labels[labels.index("bfs/radix/ndp/1c/s7")]
+        corrupted = labels[labels.index("rnd/hugepage/ndp/1c/s7")]
+        plan = FaultPlan.parse(
+            f"fail:{doomed}:*;hang:{wedged}:*:30;"
+            f"kill:{killed}:1;corrupt:{corrupted}")
+
+        cache = ResultCache(tmp_path, fault_plan=plan)
+        chaos = SweepRunner(jobs=2, cache=cache, strict=False,
+                            retries=1, cell_timeout=1.0, backoff=0.01,
+                            fault_plan=plan)
+        results = chaos.run(configs)
+
+        stats = chaos.last_stats
+        assert stats.failed == 2
+        assert sorted(stats.manifest.labels()) == \
+            sorted([doomed, wedged])
+        assert stats.worker_deaths >= 1
+        assert stats.timeouts >= 1
+        # Every healthy cell completed despite the chaos.
+        holes = {labels[i] for i, r in enumerate(results) if r is None}
+        assert holes == {doomed, wedged}
+
+        # Follow-up run, no faults: exactly the 2 quarantined cells
+        # plus the 1 corrupt entry are re-simulated, nothing else.
+        resume_cache = ResultCache(tmp_path)
+        resume = SweepRunner(jobs=1, cache=resume_cache)
+        resumed = resume.run(configs)
+        assert all(r is not None for r in resumed)
+        assert resume.last_stats.simulated == 3
+        assert resume.last_stats.cache_hits == 17
+        assert resume_cache.stats.corrupt == 1
+
+        # Third run: fully cache-served and bit-identical to clean.
+        third = SweepRunner(jobs=1, cache_dir=tmp_path)
+        final = third.run(configs)
+        assert third.last_stats.simulated == 0
+        for config, result in zip(configs, final):
+            assert fields(result) == fields(run_once(config))

@@ -117,3 +117,109 @@ class TestTenantSurface:
     def test_tenants_default_is_single_process(self):
         args = build_parser().parse_args(["run"])
         assert args.tenants == 1
+
+
+class TestFaultToleranceSurface:
+    SWEEP = ["sweep", "--workloads", "rnd", "--mechanisms",
+             "radix", "ndpage", "--cores", "1", "--refs", "300",
+             "--scale", str(1 / 64)]
+    BAD_CELL = "rnd/ndpage/ndp/1c/s42"
+
+    def test_new_flags_default_off(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.retries == 1
+        assert args.cell_timeout is None
+        assert args.keep_going is False
+        assert args.strict is False
+        assert args.manifest_out is None
+        fig = build_parser().parse_args(["figure", "fig12"])
+        assert fig.retries == 1
+        assert fig.cell_timeout is None
+
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            ["figure", "fig12", "--retries", "3", "--cell-timeout",
+             "30", "--keep-going", "--strict",
+             "--manifest-out", "m.json"])
+        assert args.retries == 3
+        assert args.cell_timeout == 30.0
+        assert args.keep_going and args.strict
+        assert args.manifest_out == "m.json"
+
+    def test_default_strict_fails_but_caches_healthy(
+            self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_PLAN",
+                           f"fail:{self.BAD_CELL}:*")
+        cache_dir = tmp_path / "cache"
+        argv = self.SWEEP + ["--retries", "0",
+                             "--cache-dir", str(cache_dir)]
+        assert main(argv) == 1
+        out = capsys.readouterr().out
+        assert "failure manifest: 1 cell(s) quarantined" in out
+        assert self.BAD_CELL in out
+
+        # Faults cleared: the re-run only simulates the casualty.
+        monkeypatch.delenv("REPRO_FAULT_PLAN")
+        assert main(argv) == 0
+        assert "1 cached, 1 simulated" in capsys.readouterr().out
+
+    def test_keep_going_renders_holes_and_exits_zero(
+            self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_PLAN",
+                           f"fail:{self.BAD_CELL}:*")
+        argv = self.SWEEP + ["--retries", "0", "--keep-going"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "sweep (2 cells)" in out        # table still printed
+        assert "-" in out                      # quarantined hole row
+        assert "1 quarantined" in out
+        assert self.BAD_CELL in out
+
+    def test_keep_going_strict_exits_nonzero(self, capsys,
+                                             monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_PLAN",
+                           f"fail:{self.BAD_CELL}:*")
+        argv = self.SWEEP + ["--retries", "0", "--keep-going",
+                             "--strict"]
+        assert main(argv) == 1
+        assert "quarantined" in capsys.readouterr().out
+
+    def test_manifest_out_written(self, capsys, tmp_path,
+                                  monkeypatch):
+        import json
+
+        monkeypatch.setenv("REPRO_FAULT_PLAN",
+                           f"fail:{self.BAD_CELL}:*")
+        manifest_path = tmp_path / "manifest.json"
+        argv = self.SWEEP + ["--retries", "1", "--keep-going",
+                             "--manifest-out", str(manifest_path)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        data = json.loads(manifest_path.read_text())
+        assert data["failed"] == 1
+        assert data["failures"][0]["label"] == self.BAD_CELL
+        assert data["failures"][0]["kind"] == "error"
+        assert data["failures"][0]["attempts"] == 2
+        assert data["retries"] == 1
+        assert data["timeouts"] == 0
+
+    def test_manifest_out_empty_on_clean_sweep(self, capsys,
+                                               tmp_path):
+        manifest_path = tmp_path / "manifest.json"
+        import json
+
+        argv = self.SWEEP + ["--manifest-out", str(manifest_path)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        data = json.loads(manifest_path.read_text())
+        assert data["failed"] == 0
+        assert data["failures"] == []
+
+    def test_figure_keep_going_with_holes(self, capsys, monkeypatch):
+        # fig10's grid runs bfs at seed 42; hole one cell of it.
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "fail:bfs/:*")
+        argv = ["figure", "fig10", "--refs", "300", "--retries", "0",
+                "--keep-going"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "quarantined" in out
