@@ -25,10 +25,16 @@ functions by cumulative time in the report (a ``profile`` block), so
 future perf PRs can cite where the time goes.
 
 Alongside the single-run rows the harness times one *parallel sweep*
-(the QUICK workload grid through ``SweepRunner --jobs N``, fresh cache)
-and reports its throughput in a ``sweep`` block — the scale-out number
-that future "more scenarios" PRs move, next to the per-core number
-PR 1 moved.  ``--sweep-jobs 0`` skips it.
+per execution backend (the QUICK workload grid through
+``repro.service`` at ``--sweep-jobs N``, fresh cache) and reports the
+throughput in a ``sweep`` block — the scale-out number that future
+"more scenarios" PRs move, next to the per-core number PR 1 moved.
+The primary backend (first of ``--sweep-backends``, default ``pool``)
+keeps the block's historical shape for baseline comparison; every
+measured backend lands under ``sweep.backends.<name>`` (``fileq``
+runs over a throwaway queue directory with local workers, so the
+file-queue coordination overhead is on the perf trajectory too).
+``--sweep-jobs 0`` skips the sweep block entirely.
 
 JSON format (``BENCH_*.json``)::
 
@@ -67,9 +73,10 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.service import SweepService  # noqa: E402
 from repro.sim.config import NumaParams, ndp_config  # noqa: E402
 from repro.sim.runner import run_once  # noqa: E402
-from repro.sim.sweep import SweepRunner, expand_grid  # noqa: E402
+from repro.sim.sweep import expand_grid  # noqa: E402
 
 #: The benchmark suite: walker-heavy baseline, graph traversal, the
 #: paper's mechanism, a two-tenant schedule (the multi-process
@@ -250,26 +257,45 @@ SWEEP_WORKLOADS = ("bfs", "xs", "rnd")
 SWEEP_MECHANISMS = ("radix", "ndpage")
 
 
+#: Backends measured by the sweep block, primary (baseline-compared)
+#: first.
+SWEEP_BACKENDS = ("pool", "fileq")
+
+
 def run_sweep_bench(refs: int, scale: float, jobs: int,
-                    seed: int = 42, verbose: bool = True) -> dict:
-    """Time one parallel sweep (fresh cache-less run) at ``jobs``."""
+                    seed: int = 42, backend: str = "pool",
+                    verbose: bool = True) -> dict:
+    """Time one parallel sweep (fresh cache-less run) at ``jobs`` on
+    the named execution backend."""
+    import tempfile
+
     configs = expand_grid(workloads=SWEEP_WORKLOADS,
                           mechanisms=SWEEP_MECHANISMS,
                           refs_per_core=refs, scale=scale, seed=seed)
-    runner = SweepRunner(jobs=jobs)
-    start = time.perf_counter()
-    results = runner.run(configs)
-    wall = time.perf_counter() - start
+    queue_dir = None
+    if backend == "fileq":
+        queue_dir = tempfile.TemporaryDirectory(prefix="bench-fileq-")
+    try:
+        service = SweepService(
+            backend=backend, jobs=max(1, jobs),
+            queue_dir=queue_dir.name if queue_dir else None)
+        start = time.perf_counter()
+        results = service.run(configs)
+        wall = time.perf_counter() - start
+    finally:
+        if queue_dir is not None:
+            queue_dir.cleanup()
     references = sum(r.references for r in results)
     refs_per_sec = references / wall if wall > 0 else 0.0
-    stats = runner.last_stats
+    stats = service.last_stats
     block = {
-        "jobs": runner.jobs,
+        "backend": backend,
+        "jobs": max(1, jobs),
         "cells": len(configs),
         "references": references,
         "wall_seconds": round(wall, 4),
         "refs_per_sec": round(refs_per_sec, 1),
-        # Fault-tolerance counters (supervised runner): all zero on a
+        # Fault-tolerance counters (supervised sweep): all zero on a
         # healthy box — nonzero values flag that the throughput row
         # includes recovery work (retries/backoff) and is not
         # comparable to a clean baseline.
@@ -279,9 +305,9 @@ def run_sweep_bench(refs: int, scale: float, jobs: int,
         "quarantined": stats.failed,
     }
     if verbose:
-        print(f"  {'sweep':<12} {references:>9,} refs  "
+        print(f"  sweep/{backend:<6} {references:>9,} refs  "
               f"{wall:7.2f} s  {refs_per_sec:>12,.0f} refs/s  "
-              f"({len(configs)} cells, {runner.jobs} jobs)")
+              f"({len(configs)} cells, {max(1, jobs)} jobs)")
     return block
 
 
@@ -343,6 +369,12 @@ def main(argv=None) -> int:
     parser.add_argument("--sweep-jobs", type=int, default=None,
                         help="workers for the parallel sweep bench "
                              "(default: min(4, cpu_count); 0 skips)")
+    parser.add_argument("--sweep-backends", nargs="+",
+                        default=list(SWEEP_BACKENDS),
+                        choices=("serial", "pool", "fileq"),
+                        help="backends measured by the sweep block; "
+                             "the first is the primary compared "
+                             "against baselines")
     parser.add_argument("--profile", action="store_true",
                         help="after the timed suite, run each config "
                              "once under cProfile and embed the top-"
@@ -367,8 +399,18 @@ def main(argv=None) -> int:
     if sweep_jobs is None:
         sweep_jobs = min(4, os.cpu_count() or 1)
     if sweep_jobs > 0:
-        report["sweep"] = run_sweep_bench(
-            max(1, args.refs // 4), args.scale, sweep_jobs, args.seed)
+        blocks = {
+            backend: run_sweep_bench(
+                max(1, args.refs // 4), args.scale, sweep_jobs,
+                args.seed, backend=backend)
+            for backend in args.sweep_backends
+        }
+        # Primary backend keeps the historical top-level shape (what
+        # compare()/the CI gate read); every backend lands under
+        # "backends" as the new axis.
+        primary = args.sweep_backends[0]
+        report["sweep"] = dict(blocks[primary])
+        report["sweep"]["backends"] = blocks
 
     if args.profile:
         # Full-length configs, so the hot-spot ranking describes the

@@ -34,6 +34,11 @@ from repro.sim import (
     run_once,
     run_sweep,
 )
+from repro.service import (
+    SweepPolicy,
+    SweepResult,
+    SweepService,
+)
 from repro.vm import (
     ElasticCuckooPageTable,
     FrameAllocator,
@@ -61,7 +66,10 @@ __all__ = [
     "PagingPolicy",
     "RadixPageTable",
     "RunResult",
+    "SweepPolicy",
+    "SweepResult",
     "SweepRunner",
+    "SweepService",
     "System",
     "SystemConfig",
     "cpu_config",

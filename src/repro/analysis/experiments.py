@@ -1,17 +1,19 @@
 """High-level experiment drivers: one function per paper table/figure.
 
 Each function *declares* the config grid a figure needs, hands the grid
-to a :class:`~repro.sim.sweep.SweepRunner`, and assembles the returned
+to a :class:`~repro.service.SweepService`, and assembles the returned
 results into plain data (dicts keyed by workload/mechanism); the
 benchmark harness prints the rows and EXPERIMENTS.md records
 paper-vs-measured.  All drivers accept ``workloads``, ``refs_per_core``,
 ``scale`` and ``seed`` so tests can shrink them and the benches can run
-them at full sweep size, plus ``runner`` to parallelize and cache the
+them at full sweep size, plus ``runner`` — a
+:class:`~repro.service.SweepService` (or legacy
+:class:`~repro.sim.sweep.SweepRunner`) to parallelize and cache the
 sweep (``python -m repro figure fig12 --jobs 4 --cache-dir DIR``).
-Results are bit-identical whatever the runner: cells are independent
+Results are bit-identical whatever the backend: cells are independent
 and the simulator is deterministic across processes.
 
-A keep-going runner (``SweepRunner(strict=False)``) returns ``None``
+A keep-going service (``SweepPolicy(strict=False)``) returns ``None``
 for cells it had to quarantine (see the failure manifest in
 ``runner.last_stats``); every driver here renders those as explicit
 NaN holes in its tables instead of crashing, so a 30-cell figure with
@@ -34,7 +36,6 @@ from repro.sim.config import (
     ndp_config,
 )
 from repro.sim.runner import RunResult
-from repro.sim.sweep import SweepRunner
 from repro.vm.occupancy import occupancy_report
 from repro.workloads.registry import ALL_WORKLOADS, make_workload
 
@@ -50,9 +51,15 @@ def _config(system: str, workload: str, mechanism: str, num_cores: int,
 
 
 def _sweep(configs: Sequence[SystemConfig],
-           runner: Optional[SweepRunner]) -> List[Optional[RunResult]]:
-    """Run a declared grid; serial in-process when no runner is given."""
-    return (runner or SweepRunner(jobs=1)).run(configs)
+           runner) -> List[Optional[RunResult]]:
+    """Run a declared grid through any object with the ``run(configs)``
+    surface — a :class:`~repro.service.SweepService` or a legacy
+    :class:`~repro.sim.sweep.SweepRunner`; serial in-process when no
+    runner is given."""
+    if runner is None:
+        from repro.service import SweepService
+        runner = SweepService(backend="serial")
+    return runner.run(configs)
 
 
 def _metric(result: Optional[RunResult], attr: str) -> float:
@@ -76,7 +83,7 @@ def ptw_latency_comparison(workloads: Sequence[str] = ALL_WORKLOADS,
                            refs_per_core: int = DEFAULT_REFS,
                            scale: float = DEFAULT_SCALE,
                            seed: int = 42,
-                           runner: Optional[SweepRunner] = None
+                           runner=None
                            ) -> Dict[str, Dict[str, float]]:
     """Fig. 4: average radix PTW latency, NDP vs CPU, per workload."""
     grid = [(workload, system)
@@ -101,7 +108,7 @@ def translation_overhead_comparison(
         refs_per_core: int = DEFAULT_REFS,
         scale: float = DEFAULT_SCALE,
         seed: int = 42,
-        runner: Optional[SweepRunner] = None
+        runner=None
         ) -> Dict[str, Dict[str, float]]:
     """Fig. 5: fraction of runtime spent translating, NDP vs CPU."""
     grid = [(workload, system)
@@ -121,7 +128,7 @@ def core_scaling(workloads: Sequence[str] = ALL_WORKLOADS,
                  refs_per_core: int = DEFAULT_REFS,
                  scale: float = DEFAULT_SCALE,
                  seed: int = 42,
-                 runner: Optional[SweepRunner] = None
+                 runner=None
                  ) -> Dict[str, Dict[int, Dict[str, float]]]:
     """Fig. 6: mean PTW latency and overhead fraction vs core count."""
     grid = [(system, cores, workload)
@@ -170,7 +177,7 @@ def l1_miss_breakdown(workloads: Sequence[str] = ALL_WORKLOADS,
                       refs_per_core: int = DEFAULT_REFS,
                       scale: float = DEFAULT_SCALE,
                       seed: int = 42,
-                      runner: Optional[SweepRunner] = None
+                      runner=None
                       ) -> Dict[str, MissRateRow]:
     """Fig. 7 plus the Section IV-A scalar claims."""
     grid = [(workload, mechanism)
@@ -203,7 +210,7 @@ def pte_dram_amplification(workload: str = "rnd", num_cores: int = 4,
                            refs_per_core: int = DEFAULT_REFS,
                            scale: float = DEFAULT_SCALE,
                            seed: int = 42,
-                           runner: Optional[SweepRunner] = None
+                           runner=None
                            ) -> float:
     """Section IV-A: NDP-vs-CPU ratio of PTE accesses reaching DRAM."""
     ndp, cpu = _sweep(
@@ -237,7 +244,7 @@ def pwc_hit_rates(workloads: Sequence[str] = ALL_WORKLOADS,
                   refs_per_core: int = DEFAULT_REFS,
                   scale: float = DEFAULT_SCALE,
                   seed: int = 42,
-                  runner: Optional[SweepRunner] = None
+                  runner=None
                   ) -> Dict[str, float]:
     """Section V-C: PWC hit rate per level, averaged over workloads."""
     results = _sweep([_config("ndp", workload, mechanism, num_cores,
@@ -263,7 +270,7 @@ def speedup_experiment(num_cores: int,
                        refs_per_core: int = DEFAULT_REFS,
                        scale: float = DEFAULT_SCALE,
                        seed: int = 42,
-                       runner: Optional[SweepRunner] = None
+                       runner=None
                        ) -> Tuple[Dict[str, Dict[str, float]],
                                   Dict[str, float],
                                   Dict[str, Dict[str, RunResult]]]:
@@ -293,7 +300,7 @@ def tenant_interference(workload: str = "xs",
                         refs_per_core: int = DEFAULT_REFS,
                         scale: float = DEFAULT_SCALE,
                         seed: int = 42,
-                        runner: Optional[SweepRunner] = None
+                        runner=None
                         ) -> Dict[str, Dict[str, float]]:
     """Each mechanism under 1/2/4 co-runners on a shared frame pool.
 
@@ -342,7 +349,7 @@ def numa_placement(workload: str = "rnd",
                    refs_per_core: int = DEFAULT_REFS,
                    scale: float = DEFAULT_SCALE,
                    seed: int = 42,
-                   runner: Optional[SweepRunner] = None
+                   runner=None
                    ) -> Dict[str, Dict[str, float]]:
     """Each mechanism x placement policy under 1/2/4 NUMA nodes.
 
@@ -397,7 +404,7 @@ def ablation_experiment(num_cores: int = 4,
                         refs_per_core: int = DEFAULT_REFS,
                         scale: float = DEFAULT_SCALE,
                         seed: int = 42,
-                        runner: Optional[SweepRunner] = None
+                        runner=None
                         ) -> Dict[str, Dict[str, float]]:
     """Decompose NDPage: bypass-only vs flatten-only vs both vs no-PWC,
     plus the counterfactual upper-level (PL3/PL2) flattening."""

@@ -7,8 +7,9 @@ Examples::
     python -m repro figure fig12 --refs 4000
     python -m repro workloads
 
-Sweeps fan independent cells out over worker processes and memoize
-finished cells on disk, so figures parallelize and resume::
+Sweeps fan independent cells out over a pluggable execution backend
+(``--backend serial|pool|fileq``) and memoize finished cells on disk,
+so figures parallelize and resume::
 
     # Fig. 12 on 4 workers, cached — re-running after an interrupt
     # (or with one new mechanism) simulates only the missing cells.
@@ -18,6 +19,12 @@ finished cells on disk, so figures parallelize and resume::
     python -m repro sweep --workloads bfs xs rnd \\
         --mechanisms radix ndpage --cores 1 4 --jobs 4 \\
         --cache-dir .sweep-cache
+
+    # Multi-host: a shared queue directory plus standalone workers
+    # (any machine that can see the directory can contribute).
+    python -m repro worker --queue .sweep-queue &
+    python -m repro figure fig12 --backend fileq --jobs 0 \\
+        --queue-dir .sweep-queue --cache-dir .sweep-cache
 """
 
 from __future__ import annotations
@@ -31,6 +38,12 @@ from repro.analysis import experiments
 from repro.analysis.cache import ResultCache
 from repro.analysis.tables import format_mapping_table, format_table
 from repro.core.mechanisms import MECHANISMS, PAPER_MECHANISMS
+from repro.service import (
+    BACKEND_NAMES,
+    SweepFailure,
+    SweepPolicy,
+    SweepService,
+)
 from repro.sim.config import (
     PLACEMENT_POLICIES,
     NumaParams,
@@ -39,7 +52,7 @@ from repro.sim.config import (
     ndp_config,
 )
 from repro.sim.runner import run_mechanisms, run_once
-from repro.sim.sweep import SweepFailure, SweepRunner, expand_grid
+from repro.sim.sweep import expand_grid
 from repro.workloads.registry import ALL_WORKLOADS, workload_table
 
 FIGURES = ("fig4", "fig5", "fig6", "fig7", "fig8", "fig10",
@@ -92,7 +105,16 @@ def _add_numa_opts(parser):
 def _add_sweep_opts(parser):
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for the sweep "
-                             "(default 1: serial in-process)")
+                             "(default 1: serial in-process; with "
+                             "--backend fileq, local workers — 0 "
+                             "relies on external `repro worker`s)")
+    parser.add_argument("--backend", default="auto",
+                        choices=BACKEND_NAMES,
+                        help="sweep execution backend (default auto: "
+                             "serial for --jobs 1, pool otherwise)")
+    parser.add_argument("--queue-dir", default=None, metavar="DIR",
+                        help="shared coordination directory for "
+                             "--backend fileq")
     parser.add_argument("--cache-dir", default=None,
                         help="directory for the on-disk result cache; "
                              "makes the sweep resumable")
@@ -115,25 +137,27 @@ def _add_sweep_opts(parser):
                              "timeout counters) as JSON to PATH")
 
 
-def _runner_from(args) -> SweepRunner:
+def _service_from(args) -> SweepService:
     cache = (ResultCache(args.cache_dir)
              if args.cache_dir is not None else None)
-    return SweepRunner(jobs=args.jobs, cache=cache,
-                       retries=args.retries,
-                       cell_timeout=args.cell_timeout,
-                       strict=not args.keep_going)
+    policy = SweepPolicy(retries=args.retries,
+                         cell_timeout=args.cell_timeout,
+                         strict=not args.keep_going)
+    return SweepService(backend=args.backend, jobs=args.jobs,
+                        cache=cache, policy=policy,
+                        queue_dir=args.queue_dir)
 
 
-def _finish_sweep(args, runner) -> int:
+def _finish_sweep(args, service) -> int:
     """Shared sweep epilogue: print stats, report/persist failures.
 
     Under ``--keep-going`` the command completes with holes and exits
     zero — non-zero only when ``--strict`` is also given.  (Without
     ``--keep-going`` a quarantined cell raises SweepFailure out of the
-    runner and the command exits 1; this helper still records the
+    service and the command exits 1; this helper still records the
     manifest on that path.)
     """
-    stats = runner.last_stats
+    stats = service.last_stats
     if stats.cells:
         print(f"sweep: {stats.summary()}")
     manifest = stats.manifest
@@ -179,18 +203,19 @@ def cmd_compare(args) -> int:
 
 
 def cmd_figure(args) -> int:
-    runner = _runner_from(args)
+    service = _service_from(args)
     try:
-        _render_figure(args, runner)
+        _render_figure(args, service)
     except SweepFailure:
         # Strict (no --keep-going): every healthy cell completed and
         # was cached, but the figure is withheld — all-or-nothing.
-        _finish_sweep(args, runner)
+        _finish_sweep(args, service)
         return 1
-    return _finish_sweep(args, runner)
+    return _finish_sweep(args, service)
 
 
-def _render_figure(args, runner) -> None:
+def _render_figure(args, service) -> None:
+    runner = service   # the drivers' runner= seam accepts a service
     refs = args.refs
     if args.figure == "fig4":
         table = experiments.ptw_latency_comparison(refs_per_core=refs,
@@ -276,11 +301,11 @@ def cmd_sweep(args) -> int:
         tenants=args.tenants,
         scheduler=SchedulerParams(quantum_refs=args.quantum),
         numa=_numa_from(args))
-    runner = _runner_from(args)
+    service = _service_from(args)
     try:
-        results = runner.run(configs)
+        results = service.run(configs)
     except SweepFailure:
-        _finish_sweep(args, runner)
+        _finish_sweep(args, service)
         return 1
     rows = [
         [c.workload, c.mechanism, c.system, c.num_cores]
@@ -292,7 +317,21 @@ def cmd_sweep(args) -> int:
         ["workload", "mechanism", "system", "cores", "cycles", "ipc",
          "PTW (cy)"],
         rows, title=f"sweep ({len(configs)} cells)"))
-    return _finish_sweep(args, runner)
+    return _finish_sweep(args, service)
+
+
+def cmd_worker(args) -> int:
+    """Standalone fileq worker: claim and simulate cells from a shared
+    queue directory until idle for --max-idle seconds (or forever)."""
+    from repro.sim.backends.fileq import worker_loop
+    summary = worker_loop(args.queue,
+                          poll_interval=args.poll_interval,
+                          heartbeat_interval=args.heartbeat_interval,
+                          stale_after=args.stale_after,
+                          max_idle=args.max_idle)
+    print(f"worker {summary['worker']}: "
+          f"{summary['cells']} cell(s) executed")
+    return 0
 
 
 def cmd_workloads(_args) -> int:
@@ -354,6 +393,27 @@ def build_parser() -> argparse.ArgumentParser:
     _add_numa_opts(sweep_p)
     _add_sweep_opts(sweep_p)
     sweep_p.set_defaults(func=cmd_sweep)
+
+    worker_p = sub.add_parser(
+        "worker", help="run a standalone fileq sweep worker")
+    worker_p.add_argument("--queue", required=True, metavar="DIR",
+                          help="shared queue directory (the sweep's "
+                               "--queue-dir)")
+    worker_p.add_argument("--max-idle", type=float, default=None,
+                          metavar="SECONDS",
+                          help="exit after this long with no work "
+                               "(default: run until killed)")
+    worker_p.add_argument("--poll-interval", type=float, default=0.05,
+                          metavar="SECONDS",
+                          help="queue scan period while idle")
+    worker_p.add_argument("--heartbeat-interval", type=float,
+                          default=1.0, metavar="SECONDS",
+                          help="liveness heartbeat period")
+    worker_p.add_argument("--stale-after", type=float, default=5.0,
+                          metavar="SECONDS",
+                          help="heartbeat age after which another "
+                               "worker's claims are stolen")
+    worker_p.set_defaults(func=cmd_worker)
 
     wl_p = sub.add_parser("workloads", help="list Table II workloads")
     wl_p.set_defaults(func=cmd_workloads)

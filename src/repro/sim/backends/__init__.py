@@ -1,0 +1,34 @@
+"""Pluggable sweep-execution backends.
+
+A :class:`SweepBackend` owns how cell attempts execute; the
+backend-agnostic supervisor in :mod:`repro.sim.sweep` owns retry,
+backoff, timeout and quarantine semantics.  Three backends ship:
+
+* ``serial`` — in-process, no pool, no pickling.
+* ``pool`` — supervised local worker processes (Process + Pipe).
+* ``fileq`` — multi-host coordination through a shared directory
+  (``repro worker --queue DIR`` runs a standalone worker).
+"""
+
+from repro.sim.backends.base import (
+    BACKEND_NAMES,
+    Attempt,
+    BackendSpec,
+    Outcome,
+    SweepBackend,
+)
+from repro.sim.backends.fileq import FileQueueBackend, worker_loop
+from repro.sim.backends.pool import PoolBackend
+from repro.sim.backends.serial import SerialBackend
+
+__all__ = [
+    "BACKEND_NAMES",
+    "Attempt",
+    "BackendSpec",
+    "FileQueueBackend",
+    "Outcome",
+    "PoolBackend",
+    "SerialBackend",
+    "SweepBackend",
+    "worker_loop",
+]

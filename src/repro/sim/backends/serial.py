@@ -1,0 +1,58 @@
+"""In-process serial backend: no pool, no pickling, no preemption.
+
+``dispatch`` executes the attempt synchronously and queues its
+outcome for the next ``poll``.  ``KeyboardInterrupt`` (not an
+``Exception``) propagates out of ``dispatch`` so Ctrl-C aborts
+promptly, leaving the cache holding every finished cell.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import List, Optional
+
+from repro.sim.backends.base import Attempt, Outcome, SweepBackend
+from repro.sim.config import SystemConfig
+from repro.sim.faults import FaultPlan, apply_cell_faults
+from repro.sim.runner import run_once
+
+
+class SerialBackend(SweepBackend):
+    """Execute attempts inline, one at a time."""
+
+    name = "serial"
+    supports_timeout = False   # cannot preempt an in-process cell
+
+    def __init__(self):
+        self._fn = None
+        self._plan: Optional[FaultPlan] = None
+        self._done: List[Outcome] = []
+
+    def open(self, run_fn, plan_text: Optional[str],
+             cells: int) -> None:
+        self._fn = run_fn or run_once
+        self._plan = FaultPlan.parse(plan_text) if plan_text else None
+
+    def capacity(self) -> Optional[int]:
+        return 1
+
+    def dispatch(self, attempt: Attempt) -> bool:
+        try:
+            config = SystemConfig.from_dict(attempt.data)
+            if self._plan is not None:
+                apply_cell_faults(self._plan, attempt.label,
+                                  attempt.attempt)
+            result = self._fn(config)
+        except Exception:
+            self._done.append(Outcome(
+                key=attempt.key, attempt=attempt.attempt,
+                status="error", error=traceback.format_exc()))
+        else:
+            self._done.append(Outcome(
+                key=attempt.key, attempt=attempt.attempt,
+                status="ok", result=result))
+        return True
+
+    def poll(self, timeout: Optional[float]) -> List[Outcome]:
+        done, self._done = self._done, []
+        return done

@@ -1,70 +1,72 @@
-"""Parallel sweep orchestration over independent simulations.
+"""Backend-agnostic sweep orchestration over independent simulations.
 
 Every paper figure is a cross product of independent ``run_once`` calls
 (workload x mechanism x system x core count), so wall-clock time scales
-with the whole grid even though no cell depends on another.
-:class:`SweepRunner` restores the obvious parallelism: it fans configs
-out across supervised worker processes and memoizes finished cells in
-an on-disk :class:`~repro.analysis.cache.ResultCache`, making every
-sweep parallel, resumable, and fault tolerant.
+with the whole grid even though no cell depends on another.  The sweep
+layer restores the obvious parallelism: :func:`execute_sweep` fans
+configs out through a pluggable :class:`~repro.sim.backends.base.\
+SweepBackend` — in-process ``serial``, supervised local ``pool``
+workers, or the multi-host ``fileq`` queue — and memoizes finished
+cells in an on-disk :class:`~repro.analysis.cache.ResultCache`, making
+every sweep parallel, resumable, and fault tolerant.
+
+The *supervisor loop* here is the interface contract, identical for
+every backend: bounded retries with exponential backoff, per-cell
+timeouts (where the backend can preempt), and quarantine into a
+:class:`FailureManifest`.  Backends only report attempt outcomes —
+``ok``, ``error``, or ``lost`` (the executor vanished) — so a dead
+remote worker is the same event as a SIGKILLed local one.
 
 Guarantees the figure drivers rely on:
 
 * **Bit identity.**  The simulator is deterministic across processes
-  (seeded RNGs, integer PWC indexing), so a sweep run with ``jobs=8``
-  returns results identical field-for-field to the serial loop; the
-  golden-stats tests would catch any divergence.
-* **Order preservation.**  ``run(configs)`` returns one result per
-  input config, in input order, regardless of completion order.
+  (seeded RNGs, integer PWC indexing), so a sweep run on any backend
+  at any worker count returns results identical field-for-field to
+  the serial loop; the golden-stats tests would catch any divergence.
+* **Order preservation.**  One result per input config, in input
+  order, regardless of completion order.
 * **Dedup.**  Identical configs inside one sweep (e.g. a shared radix
   baseline) are simulated once and the result is shared.
 * **Resumability.**  Results are persisted to the cache the moment they
   arrive (atomically, one file per cell), so an interrupted sweep —
   Ctrl-C, OOM-killed worker, CI timeout — leaves behind exactly the
   finished cells and a re-run simulates only the missing ones.
-* **Fault isolation.**  Workers report per-cell outcomes (result or
-  captured traceback), so one raising cell cannot poison its worker or
-  the sweep.  The supervisor enforces a per-cell timeout, notices
-  dead or wedged workers through their process sentinels, respawns
-  them, and re-dispatches the lost cells with bounded retries and
-  exponential backoff.  A cell that keeps failing is *quarantined*:
-  the sweep completes every other cell and reports the casualties in
-  ``last_stats.manifest`` (a :class:`FailureManifest`).  With
-  ``strict=True`` (the default) the runner raises :class:`SweepFailure`
-  at the end — after completing everything completable — for callers
-  that need all-or-nothing; ``strict=False`` returns ``None`` in the
-  quarantined cells' slots instead, which the figure drivers render as
-  explicit holes.
+* **Fault isolation.**  Executors report per-cell outcomes (result or
+  captured traceback), so one raising cell cannot poison its worker
+  or the sweep.  A cell that keeps failing is *quarantined*: the
+  sweep completes every other cell and reports the casualties in the
+  manifest.  ``strict=True`` (the default policy) raises
+  :class:`SweepFailure` at the end — after completing everything
+  completable; ``strict=False`` returns ``None`` in the quarantined
+  cells' slots, which the figure drivers render as explicit holes.
 
-Typical use::
+New callers should go through :mod:`repro.service`::
 
-    from repro.sim.sweep import SweepRunner, expand_grid
+    from repro.service import SweepPolicy, SweepService
 
-    runner = SweepRunner(jobs=4, cache_dir=".sweep-cache",
-                         retries=1, cell_timeout=300.0, strict=False)
-    results = runner.run(expand_grid(workloads=("bfs", "xs"),
-                                     mechanisms=("radix", "ndpage")))
-    print(runner.last_stats.summary())
-    if runner.last_stats.manifest:
-        print(runner.last_stats.manifest.format())
+    service = SweepService(backend="pool", jobs=4,
+                           cache_dir=".sweep-cache",
+                           policy=SweepPolicy(retries=1, strict=False))
+    grid = service.run_grid(expand_grid(workloads=("bfs", "xs"),
+                                        mechanisms=("radix", "ndpage")))
+    print(grid.stats.summary())
 
-Fault injection (tests, CI chaos job) threads a
-:class:`~repro.sim.faults.FaultPlan` through the worker entry point —
-see :mod:`repro.sim.faults`.
+:class:`SweepRunner` remains as a deprecated shim over the same
+machinery.  Fault injection (tests, CI chaos job) threads a
+:class:`~repro.sim.faults.FaultPlan` through the executors — see
+:mod:`repro.sim.faults`.
 """
 
 from __future__ import annotations
 
 import hashlib
-import multiprocessing
 import os
 import pickle
 import time
-import traceback
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from itertools import product
-from multiprocessing import connection
 from typing import (
     Callable,
     Dict,
@@ -75,8 +77,9 @@ from typing import (
     Union,
 )
 
+from repro.sim.backends.base import Attempt, BackendSpec, SweepBackend
 from repro.sim.config import SystemConfig, cpu_config, ndp_config
-from repro.sim.faults import FaultPlan, apply_cell_faults, cell_label
+from repro.sim.faults import FaultPlan, cell_label
 from repro.sim.runner import RunResult, run_once
 
 
@@ -122,7 +125,7 @@ def expand_grid(workloads: Sequence[str] = ("rnd",),
     return configs
 
 
-# -- failure accounting --------------------------------------------------------
+# -- failure accounting -------------------------------------------------------
 
 @dataclass
 class CellFailure:
@@ -189,7 +192,7 @@ class SweepFailure(RuntimeError):
 
 @dataclass
 class SweepStats:
-    """What the last :meth:`SweepRunner.run` actually did."""
+    """What the last sweep actually did."""
 
     cells: int = 0            # configs requested
     unique: int = 0           # after in-sweep dedup
@@ -228,68 +231,38 @@ class SweepStats:
         return text
 
 
-# -- supervised worker ---------------------------------------------------------
+# -- execution policy ---------------------------------------------------------
 
-class _CellWork:
-    """One unique cell's dispatch state inside the supervisor."""
+@dataclass(frozen=True)
+class SweepPolicy:
+    """How a sweep treats misbehaving cells — one explicit object in
+    place of the old kwarg pile, shared by every backend.
 
-    __slots__ = ("pos", "key", "config", "data", "label", "attempt",
-                 "not_before")
-
-    def __init__(self, pos: int, key: str, config: SystemConfig):
-        self.pos = pos
-        self.key = key
-        self.config = config
-        self.data = config.to_dict()
-        self.label = cell_label(config)
-        self.attempt = 0          # dispatches so far
-        self.not_before = 0.0     # backoff gate (monotonic clock)
-
-
-class _Worker:
-    """A supervised worker process and its dispatch pipe."""
-
-    __slots__ = ("conn", "process", "cell", "deadline")
-
-    def __init__(self, conn, process):
-        self.conn = conn
-        self.process = process
-        self.cell: Optional[_CellWork] = None
-        self.deadline: Optional[float] = None
-
-
-def _supervised_worker(conn, run_fn: Optional[Callable],
-                       plan_text: Optional[str]) -> None:
-    """Worker loop: receive ``(pos, config-dict, attempt)``, simulate,
-    send back ``(pos, ok, result-or-traceback)``.
-
-    Every exception is captured and reported per cell, so one bad cell
-    cannot poison its worker or any other cell; abrupt process death
-    (SIGKILL, segfault, OOM) is the supervisor's job to notice via the
-    process sentinel.  Top-level so it pickles under every
-    multiprocessing start method.
+    ``retries`` re-dispatches are granted to a failing cell before it
+    is quarantined (``retries=1`` means at most 2 attempts).
+    ``cell_timeout`` seconds bound one attempt where the backend can
+    preempt (pool kills the worker; fileq abandons the attempt; the
+    in-process serial backend cannot preempt).  ``backoff`` is the
+    base re-dispatch delay, doubling per subsequent attempt.  With
+    ``strict=True`` a quarantined cell raises :class:`SweepFailure`
+    after the sweep completed every healthy cell; ``strict=False``
+    leaves ``None`` holes instead.  ``fault_plan`` injects
+    deterministic faults (defaults to ``REPRO_FAULT_PLAN``).
     """
-    plan = FaultPlan.parse(plan_text) if plan_text else None
-    fn = run_fn or run_once
-    while True:
-        try:
-            task = conn.recv()
-        except (EOFError, OSError):
-            return
-        if task is None:
-            return
-        pos, data, attempt = task
-        try:
-            config = SystemConfig.from_dict(data)
-            if plan is not None:
-                apply_cell_faults(plan, cell_label(config), attempt)
-            outcome = (pos, True, fn(config))
-        except Exception:
-            outcome = (pos, False, traceback.format_exc())
-        try:
-            conn.send(outcome)
-        except (BrokenPipeError, OSError):
-            return
+
+    retries: int = 1
+    cell_timeout: Optional[float] = None
+    backoff: float = 0.25
+    strict: bool = True
+    fault_plan: Optional[Union[FaultPlan, str]] = None
+
+    def active_plan(self) -> Optional[FaultPlan]:
+        plan = self.fault_plan
+        if isinstance(plan, str):
+            plan = FaultPlan.parse(plan)
+        if plan is None:
+            plan = FaultPlan.from_env()
+        return plan if plan else None
 
 
 def _ensure_picklable(run_fn: Callable) -> None:
@@ -305,50 +278,225 @@ def _ensure_picklable(run_fn: Callable) -> None:
             f"top-level function, or run with jobs=1") from exc
 
 
+# -- the backend-agnostic supervisor ------------------------------------------
+
+class _CellWork:
+    """One unique cell's dispatch state inside the supervisor."""
+
+    __slots__ = ("pos", "key", "config", "data", "label", "attempt",
+                 "not_before", "deadline")
+
+    def __init__(self, pos: int, key: str, config: SystemConfig):
+        self.pos = pos
+        self.key = key
+        self.config = config
+        self.data = config.to_dict()
+        self.label = cell_label(config)
+        self.attempt = 0                       # dispatches so far
+        self.not_before = 0.0                  # backoff gate
+        self.deadline: Optional[float] = None  # timeout gate
+
+
+def execute_sweep(configs: Sequence[SystemConfig],
+                  spec: Optional[BackendSpec] = None,
+                  policy: Optional[SweepPolicy] = None,
+                  cache=None,
+                  run_fn: Optional[Callable] = None,
+                  ) -> Tuple[List[Optional[RunResult]], SweepStats]:
+    """Run every config through the selected backend; never raises on
+    quarantine (callers apply ``policy.strict`` to the returned stats).
+
+    Returns ``(results-in-input-order, stats)``; quarantined cells
+    yield ``None`` slots and appear in ``stats.manifest``.
+    """
+    spec = spec or BackendSpec()
+    policy = policy or SweepPolicy()
+    start = time.perf_counter()
+
+    keys = [cache.key(config) if cache is not None
+            else config.canonical_json() for config in configs]
+
+    # In-sweep dedup: first occurrence wins.
+    unique: Dict[str, SystemConfig] = {}
+    for key, config in zip(keys, configs):
+        unique.setdefault(key, config)
+
+    results: Dict[str, RunResult] = {}
+    if cache is not None:
+        for key, config in unique.items():
+            cached = cache.load(config, key=key)
+            if cached is not None:
+                results[key] = cached
+
+    missing = [(key, config) for key, config in unique.items()
+               if key not in results]
+    stats = SweepStats(cells=len(configs), unique=len(unique),
+                       cache_hits=len(unique) - len(missing),
+                       simulated=len(missing),
+                       jobs=max(1, spec.jobs))
+
+    if missing:
+        backend = spec.resolve(len(missing), policy.cell_timeout)
+        _execute_missing(backend, missing, results, run_fn, stats,
+                         policy, cache)
+
+    stats.failed = len(stats.manifest)
+    stats.references = sum(
+        results[key].references for key, _ in missing
+        if key in results)
+    stats.wall_seconds = time.perf_counter() - start
+    return [results.get(key) for key in keys], stats
+
+
+def _execute_missing(backend: SweepBackend, missing, results, run_fn,
+                     stats: SweepStats, policy: SweepPolicy,
+                     cache) -> None:
+    """The supervisor loop: dispatch cells into the backend, collect
+    outcomes, and apply the retry/backoff/timeout/quarantine contract
+    uniformly — the backend only executes attempts and reports what
+    became of them."""
+    plan = policy.active_plan()
+    plan_text = plan.to_text() if plan is not None else None
+    timeout = (policy.cell_timeout if backend.supports_timeout
+               else None)
+    ready: deque = deque(
+        _CellWork(pos, key, config)
+        for pos, (key, config) in enumerate(missing))
+    waiting: List[_CellWork] = []     # cells in backoff delay
+    inflight: Dict[str, _CellWork] = {}
+    outstanding = len(missing)
+
+    def settle_ok(cell: _CellWork, result) -> None:
+        results[cell.key] = result
+        if cache is not None:
+            cache.store(cell.config, result, key=cell.key)
+
+    def failed(cell: _CellWork, kind: str, error: str,
+               now: float) -> int:
+        """Retry or quarantine a failed attempt; returns settled."""
+        if cell.attempt >= policy.retries + 1:
+            stats.manifest.failures.append(CellFailure(
+                key=cell.key, label=cell.label,
+                attempts=cell.attempt, kind=kind, error=error))
+            return 1
+        cell.not_before = (now + policy.backoff
+                           * (2 ** (cell.attempt - 1)))
+        waiting.append(cell)
+        return 0
+
+    backend.open(run_fn, plan_text, len(missing))
+    try:
+        while outstanding:
+            now = time.monotonic()
+            if waiting:
+                due = [c for c in waiting if c.not_before <= now]
+                if due:
+                    waiting = [c for c in waiting
+                               if c.not_before > now]
+                    ready.extend(due)
+
+            # Dispatch ready cells into the backend's capacity.
+            capacity = backend.capacity()
+            while ready and (capacity is None
+                             or len(inflight) < capacity):
+                cell = ready.popleft()
+                cell.attempt += 1
+                counted = cell.attempt > 1
+                if counted:
+                    stats.retries += 1
+                if not backend.dispatch(Attempt(
+                        pos=cell.pos, key=cell.key, data=cell.data,
+                        label=cell.label, attempt=cell.attempt)):
+                    # The attempt never started (e.g. the worker died
+                    # while idle): it must not count against the cell.
+                    cell.attempt -= 1
+                    if counted:
+                        stats.retries -= 1
+                    ready.appendleft(cell)
+                    break
+                now = time.monotonic()
+                cell.deadline = ((now + timeout) if timeout
+                                 else None)
+                inflight[cell.key] = cell
+
+            if not inflight:
+                # Everything is backoff-delayed; sleep it off.
+                delay = min((c.not_before for c in waiting),
+                            default=now) - now
+                if delay > 0:
+                    time.sleep(delay)
+                continue
+
+            sleeps = [c.deadline - now for c in inflight.values()
+                      if c.deadline is not None]
+            sleeps += [c.not_before - now for c in waiting]
+            wait_for = max(0.0, min(sleeps)) if sleeps else None
+            outcomes = backend.poll(wait_for)
+            now = time.monotonic()
+
+            for outcome in outcomes:
+                cell = inflight.get(outcome.key)
+                if cell is None:
+                    continue   # already settled (late duplicate)
+                if outcome.status == "ok":
+                    # Results are deterministic, so an ok outcome is
+                    # accepted even from a superseded attempt.
+                    del inflight[outcome.key]
+                    settle_ok(cell, outcome.result)
+                    outstanding -= 1
+                    continue
+                if outcome.attempt != cell.attempt:
+                    continue   # stale failure from an old attempt
+                del inflight[outcome.key]
+                if outcome.status == "lost":
+                    stats.worker_deaths += 1
+                    kind = "worker-died"
+                else:
+                    kind = "error"
+                outstanding -= failed(cell, kind, outcome.error, now)
+
+            if timeout:
+                for key, cell in list(inflight.items()):
+                    if cell.deadline is None or now < cell.deadline:
+                        continue
+                    stats.timeouts += 1
+                    backend.cancel(key, cell.attempt)
+                    del inflight[key]
+                    error = (f"cell exceeded cell_timeout="
+                             f"{policy.cell_timeout}s on attempt "
+                             f"{cell.attempt}; worker killed")
+                    outstanding -= failed(cell, "timeout", error, now)
+    finally:
+        backend.close()
+
+
+# -- legacy runner (deprecated shim) ------------------------------------------
+
 class SweepRunner:
-    """Run many independent configs, in parallel, through a cache.
+    """Deprecated: construct a :class:`repro.service.SweepService`
+    (or call :func:`execute_sweep`) instead.
+
+    The old kwarg-pile constructor keeps working — it now builds a
+    :class:`SweepPolicy` + :class:`BackendSpec` pair and delegates to
+    :func:`execute_sweep` — and emits a ``DeprecationWarning``.
 
     Parameters
     ----------
     jobs:
         Worker process count.  ``None`` means ``os.cpu_count()``;
-        ``1`` runs everything in-process (no pool, no pickling) —
-        the default for library callers that just want the grid/dedup/
-        cache semantics without multiprocessing.
+        ``1`` runs everything in-process (no pool, no pickling).
     cache:
         A :class:`~repro.analysis.cache.ResultCache` (or any object
-        with the same ``key``/``load``/``store`` surface, including
-        their ``key=`` fast paths), or ``None`` to disable
-        persistence.
+        with the same ``key``/``load``/``store`` surface), or ``None``
+        to disable persistence.
     cache_dir:
         Convenience: build a ``ResultCache`` rooted here.  Ignored
         when ``cache`` is given.
     chunk_size:
-        Unused since the supervised runner dispatches per cell (the
-        per-cell outcome tracking the fault tolerance needs); accepted
-        for backward compatibility.
-    retries:
-        Re-dispatches granted to a failing cell before it is
-        quarantined (``retries=1`` means at most 2 attempts).
-    cell_timeout:
-        Seconds one cell attempt may run before its worker is killed
-        and the cell re-dispatched (counts as a failure).  ``None``
-        disables the timeout.  Enforced on the supervised pool path
-        (``jobs > 1``); the in-process serial path cannot preempt a
-        wedged cell.
-    backoff:
-        Base delay in seconds before re-dispatching a failed cell;
-        doubles per subsequent attempt (exponential backoff).
-    strict:
-        ``True`` (default): raise :class:`SweepFailure` at the end of
-        the sweep when any cell was quarantined — after completing and
-        persisting every healthy cell.  ``False``: return ``None`` in
-        the failed cells' result slots ("keep going" mode).
-    fault_plan:
-        A :class:`~repro.sim.faults.FaultPlan` (or its text form) to
-        inject deterministic faults; defaults to the
-        ``REPRO_FAULT_PLAN`` environment variable.  Production sweeps
-        leave this unset.
+        Unused since the supervised runner dispatches per cell;
+        accepted for backward compatibility.
+    retries / cell_timeout / backoff / strict / fault_plan:
+        See :class:`SweepPolicy`.
     """
 
     def __init__(self, jobs: Optional[int] = 1, cache=None,
@@ -358,6 +506,10 @@ class SweepRunner:
                  backoff: float = 0.25,
                  strict: bool = True,
                  fault_plan: Optional[Union[FaultPlan, str]] = None):
+        warnings.warn(
+            "SweepRunner is deprecated; use repro.service.SweepService "
+            "(submit/gather/run_grid) with a SweepPolicy instead",
+            DeprecationWarning, stacklevel=2)
         if cache is None and cache_dir is not None:
             from repro.analysis.cache import ResultCache
             cache = ResultCache(cache_dir)
@@ -372,331 +524,47 @@ class SweepRunner:
         self.fault_plan = fault_plan
         self.last_stats = SweepStats()
 
-    # -- identity ----------------------------------------------------
-
-    def _key(self, config: SystemConfig) -> str:
-        if self.cache is not None:
-            return self.cache.key(config)
-        return config.canonical_json()
-
-    def _active_plan(self) -> Optional[FaultPlan]:
-        plan = self.fault_plan
-        if isinstance(plan, str):
-            plan = FaultPlan.parse(plan)
-        if plan is None:
-            plan = FaultPlan.from_env()
-        return plan if plan else None
-
-    # -- execution ---------------------------------------------------
-
     def run(self, configs: Sequence[SystemConfig],
             run_fn: Optional[Callable[[SystemConfig], RunResult]] = None
             ) -> List[Optional[RunResult]]:
         """Simulate every config; return results in input order.
 
-        Quarantined cells (see class docstring) yield ``None`` slots
-        when ``strict=False``; with ``strict=True`` the sweep still
-        completes every healthy cell (persisting them to the cache)
-        and then raises :class:`SweepFailure` with the manifest.
-
         ``run_fn`` is an instrumentation seam, not an alternate
         simulator: it must be observationally equivalent to
-        :func:`run_once` for the same config (a wrapper that counts,
-        logs, or interrupts), because results are cached under the
-        config's key alone — a ``run_fn`` computing *different*
-        results would poison any cache this runner holds.  It must be
-        a picklable top-level callable when ``jobs > 1``.  Tests use
-        it to instrument and interrupt sweeps.
+        :func:`run_once` for the same config, and picklable when
+        ``jobs > 1``.
         """
-        start = time.perf_counter()
-        keys = [self._key(config) for config in configs]
-
-        # In-sweep dedup: first occurrence wins.
-        unique: Dict[str, SystemConfig] = {}
-        for key, config in zip(keys, configs):
-            unique.setdefault(key, config)
-
-        results: Dict[str, RunResult] = {}
-        if self.cache is not None:
-            for key, config in unique.items():
-                cached = self.cache.load(config, key=key)
-                if cached is not None:
-                    results[key] = cached
-
-        missing = [(key, config) for key, config in unique.items()
-                   if key not in results]
-        stats = SweepStats(cells=len(configs), unique=len(unique),
-                           cache_hits=len(unique) - len(missing),
-                           simulated=len(missing), jobs=self.jobs)
-
-        if missing:
-            plan = self._active_plan()
-            use_pool = self.jobs > 1 and (
-                len(missing) > 1 or self.cell_timeout is not None)
-            if use_pool:
-                if run_fn is not None:
-                    _ensure_picklable(run_fn)
-                self._run_supervised(missing, results, run_fn, stats,
-                                     plan)
-            else:
-                self._run_serial(missing, results, run_fn, stats,
-                                 plan)
-
-        stats.failed = len(stats.manifest)
-        stats.references = sum(
-            results[key].references for key, _ in missing
-            if key in results)
-        stats.wall_seconds = time.perf_counter() - start
+        policy = SweepPolicy(retries=self.retries,
+                             cell_timeout=self.cell_timeout,
+                             backoff=self.backoff,
+                             strict=self.strict,
+                             fault_plan=self.fault_plan)
+        spec = BackendSpec(name="auto", jobs=self.jobs)
+        results, stats = execute_sweep(configs, spec=spec,
+                                       policy=policy,
+                                       cache=self.cache,
+                                       run_fn=run_fn)
         self.last_stats = stats
         if self.strict and stats.manifest:
             raise SweepFailure(stats.manifest)
-        return [results.get(key) for key in keys]
-
-    def _store(self, key: str, config: SystemConfig,
-               result: RunResult) -> None:
-        if self.cache is not None:
-            self.cache.store(config, result, key=key)
-
-    # -- serial path -------------------------------------------------
-
-    def _run_serial(self, missing, results, run_fn, stats,
-                    plan) -> None:
-        """In-process execution with per-cell capture and retries.
-
-        No timeout or kill recovery here — a wedged or killed cell
-        takes the process with it; the pool path owns those.
-        ``KeyboardInterrupt`` still aborts promptly (it is not an
-        ``Exception``), leaving the cache holding the finished cells.
-        """
-        fn = run_fn or run_once
-        for key, config in missing:
-            label = cell_label(config)
-            last_error = ""
-            attempts = 0
-            for attempt in range(1, self.retries + 2):
-                attempts = attempt
-                if attempt > 1:
-                    stats.retries += 1
-                    if self.backoff:
-                        time.sleep(self.backoff * (2 ** (attempt - 2)))
-                try:
-                    if plan is not None:
-                        apply_cell_faults(plan, label, attempt)
-                    result = fn(config)
-                except Exception:
-                    last_error = traceback.format_exc()
-                    continue
-                results[key] = result
-                self._store(key, config, result)
-                break
-            else:
-                stats.manifest.failures.append(CellFailure(
-                    key=key, label=label, attempts=attempts,
-                    kind="error", error=last_error))
-
-    # -- supervised pool path ----------------------------------------
-
-    def _run_supervised(self, missing, results, run_fn, stats,
-                        plan) -> None:
-        """Dispatch cells to supervised workers; survive their faults.
-
-        One pipe per worker; ``connection.wait`` multiplexes result
-        pipes and process sentinels, so a worker death (SIGKILL,
-        segfault, OOM kill) wakes the supervisor immediately.  Wedged
-        workers are caught by the per-cell deadline and killed.  Lost
-        or failed cells are re-dispatched with exponential backoff
-        until their attempt budget runs out, then quarantined.
-        """
-        plan_text = plan.to_text() if plan is not None else None
-        ready: deque = deque(
-            _CellWork(pos, key, config)
-            for pos, (key, config) in enumerate(missing))
-        waiting: List[_CellWork] = []     # cells in backoff delay
-        outstanding = len(missing)
-        timeout = self.cell_timeout
-        workers = [self._spawn(run_fn, plan_text)
-                   for _ in range(min(self.jobs, len(missing)))]
-        try:
-            while outstanding:
-                now = time.monotonic()
-                if waiting:
-                    due = [c for c in waiting if c.not_before <= now]
-                    if due:
-                        waiting = [c for c in waiting
-                                   if c.not_before > now]
-                        ready.extend(due)
-
-                # Dispatch ready cells onto idle workers.
-                for i, worker in enumerate(workers):
-                    if worker.cell is not None or not ready:
-                        continue
-                    cell = ready.popleft()
-                    cell.attempt += 1
-                    if cell.attempt > 1:
-                        stats.retries += 1
-                    try:
-                        worker.conn.send(
-                            (cell.pos, cell.data, cell.attempt))
-                    except (BrokenPipeError, OSError):
-                        # Worker died while idle: the attempt never
-                        # started, so it doesn't count against the cell.
-                        cell.attempt -= 1
-                        if cell.attempt > 1:
-                            stats.retries -= 1
-                        ready.appendleft(cell)
-                        workers[i] = self._respawn(worker, run_fn,
-                                                   plan_text)
-                        continue
-                    worker.cell = cell
-                    worker.deadline = (now + timeout) if timeout else None
-
-                busy = [w for w in workers if w.cell is not None]
-                sleeps = [w.deadline - now for w in busy
-                          if w.deadline is not None]
-                sleeps += [c.not_before - now for c in waiting]
-                wait_for = max(0.0, min(sleeps)) if sleeps else None
-                if not busy:
-                    # Everything is backoff-delayed; sleep it off.
-                    if wait_for:
-                        time.sleep(wait_for)
-                    continue
-
-                objects = [w.conn for w in busy]
-                objects += [w.process.sentinel for w in busy]
-                ready_objects = connection.wait(objects,
-                                                timeout=wait_for)
-                now = time.monotonic()
-                for i, worker in enumerate(workers):
-                    if worker.cell is None:
-                        continue
-                    if worker.conn in ready_objects:
-                        outstanding -= self._collect(worker, results,
-                                                     waiting, stats,
-                                                     now)
-                        if worker.cell is not None:
-                            # recv failed: the worker died mid-send.
-                            outstanding -= self._lost(
-                                worker, "worker-died", waiting, stats,
-                                now)
-                            workers[i] = self._respawn(worker, run_fn,
-                                                       plan_text)
-                    elif worker.process.sentinel in ready_objects:
-                        # Dead worker; drain a result it may have
-                        # flushed before dying.
-                        if worker.conn.poll():
-                            outstanding -= self._collect(
-                                worker, results, waiting, stats, now)
-                        if worker.cell is not None:
-                            outstanding -= self._lost(
-                                worker, "worker-died", waiting, stats,
-                                now)
-                        workers[i] = self._respawn(worker, run_fn,
-                                                   plan_text)
-                    elif (worker.deadline is not None
-                          and now >= worker.deadline):
-                        stats.timeouts += 1
-                        outstanding -= self._lost(
-                            worker, "timeout", waiting, stats, now)
-                        workers[i] = self._respawn(worker, run_fn,
-                                                   plan_text,
-                                                   kill=True)
-        finally:
-            self._shutdown(workers)
-
-    def _collect(self, worker: _Worker, results, waiting, stats,
-                 now: float) -> int:
-        """Receive one outcome; returns settled cells (0 or 1).
-
-        Leaves ``worker.cell`` set when the recv itself failed (the
-        caller then treats the worker as dead).
-        """
-        try:
-            _pos, ok, payload = worker.conn.recv()
-        except (EOFError, OSError):
-            return 0
-        cell = worker.cell
-        worker.cell = None
-        worker.deadline = None
-        if ok:
-            results[cell.key] = payload
-            self._store(cell.key, cell.config, payload)
-            return 1
-        return self._failed(cell, "error", payload, waiting, stats,
-                            now)
-
-    def _lost(self, worker: _Worker, kind: str, waiting, stats,
-              now: float) -> int:
-        """Account a cell whose worker died or was killed for timeout."""
-        cell = worker.cell
-        worker.cell = None
-        worker.deadline = None
-        if kind == "timeout":
-            error = (f"cell exceeded cell_timeout="
-                     f"{self.cell_timeout}s on attempt "
-                     f"{cell.attempt}; worker killed")
-        else:
-            stats.worker_deaths += 1
-            error = (f"worker died (exit code "
-                     f"{worker.process.exitcode}) while running "
-                     f"attempt {cell.attempt}")
-        return self._failed(cell, kind, error, waiting, stats, now)
-
-    def _failed(self, cell: _CellWork, kind: str, error: str, waiting,
-                stats, now: float) -> int:
-        """Retry or quarantine a failed attempt; returns settled cells."""
-        if cell.attempt >= self.retries + 1:
-            stats.manifest.failures.append(CellFailure(
-                key=cell.key, label=cell.label,
-                attempts=cell.attempt, kind=kind, error=error))
-            return 1
-        cell.not_before = now + self.backoff * (2 ** (cell.attempt - 1))
-        waiting.append(cell)
-        return 0
-
-    # -- worker lifecycle --------------------------------------------
-
-    def _spawn(self, run_fn, plan_text) -> _Worker:
-        parent, child = multiprocessing.Pipe()
-        process = multiprocessing.Process(
-            target=_supervised_worker, args=(child, run_fn, plan_text),
-            daemon=True)
-        process.start()
-        child.close()
-        return _Worker(parent, process)
-
-    def _respawn(self, worker: _Worker, run_fn, plan_text,
-                 kill: bool = False) -> _Worker:
-        if kill and worker.process.is_alive():
-            worker.process.terminate()
-            worker.process.join(timeout=2.0)
-            if worker.process.is_alive():
-                worker.process.kill()
-        worker.process.join(timeout=2.0)
-        try:
-            worker.conn.close()
-        except OSError:
-            pass
-        return self._spawn(run_fn, plan_text)
-
-    def _shutdown(self, workers: List[_Worker]) -> None:
-        for worker in workers:
-            try:
-                worker.conn.send(None)
-            except (BrokenPipeError, OSError):
-                pass
-        for worker in workers:
-            worker.process.join(timeout=2.0)
-            if worker.process.is_alive():
-                worker.process.terminate()
-                worker.process.join(timeout=1.0)
-            try:
-                worker.conn.close()
-            except OSError:
-                pass
+        return results
 
 
 def run_sweep(configs: Sequence[SystemConfig],
               jobs: Optional[int] = 1,
               cache_dir=None) -> List[Optional[RunResult]]:
-    """One-shot convenience wrapper around :class:`SweepRunner`."""
-    return SweepRunner(jobs=jobs, cache_dir=cache_dir).run(configs)
+    """Deprecated one-shot wrapper; use
+    :func:`repro.service.run_grid` instead."""
+    warnings.warn(
+        "run_sweep is deprecated; use repro.service.run_grid instead",
+        DeprecationWarning, stacklevel=2)
+    cache = None
+    if cache_dir is not None:
+        from repro.analysis.cache import ResultCache
+        cache = ResultCache(cache_dir)
+    jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
+    results, stats = execute_sweep(
+        configs, spec=BackendSpec(name="auto", jobs=jobs), cache=cache)
+    if stats.manifest:
+        raise SweepFailure(stats.manifest)
+    return results

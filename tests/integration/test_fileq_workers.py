@@ -1,0 +1,150 @@
+"""The multi-host acceptance path: external ``repro worker`` processes.
+
+These tests spawn real ``python -m repro worker`` subprocesses against
+a shared queue directory — the deployment the fileq backend exists for
+— and pin the PR's acceptance criteria: a fig12-shaped grid driven by
+two external workers is bit-identical to the serial loop, and a worker
+SIGKILLed mid-cell loses nothing (its claim is reclaimed, the cell
+retried elsewhere, zero quarantined cells).
+"""
+
+import dataclasses
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.core.mechanisms import PAPER_MECHANISMS
+from repro.service import SweepPolicy, SweepService
+from repro.sim.backends.fileq import item_name
+from repro.sim.faults import cell_label
+from repro.sim.sweep import expand_grid
+
+# The fig12 axes (1-core speedups over Radix: every workload x every
+# paper mechanism) at test scale.
+FIG12 = dict(workloads=("bfs", "xs", "rnd"),
+             mechanisms=PAPER_MECHANISMS, core_counts=(1,),
+             refs_per_core=300, scale=1 / 64, seed=42)
+#: Tight liveness intervals so dead-worker detection runs in test time.
+FAST_Q = dict(heartbeat_interval=0.05, stale_after=0.4)
+
+
+def fields(result) -> dict:
+    return dataclasses.asdict(result)
+
+
+def spawn_worker(queue: Path, extra_env=None) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(Path(repro.__file__).parents[1])]
+        + env.get("PYTHONPATH", "").split(os.pathsep))
+    env.update(extra_env or {})
+    # Workers judge staleness far more patiently than the supervisor
+    # (30 s vs 0.4 s), so dead-worker recovery deterministically goes
+    # through the supervisor's reclaim — the path these tests pin.
+    # Worker-side stealing has its own unit tests.
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker",
+         "--queue", str(queue), "--poll-interval", "0.02",
+         "--heartbeat-interval", "0.05", "--stale-after", "30",
+         "--max-idle", "30"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True)
+
+
+def terminate(workers) -> None:
+    for proc in workers:
+        if proc.poll() is None:
+            proc.terminate()
+    for proc in workers:
+        try:
+            proc.wait(timeout=5)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=5)
+
+
+class TestExternalWorkers:
+    def test_two_external_workers_bit_identical_to_serial(
+            self, tmp_path):
+        configs = expand_grid(**FIG12)
+        reference = SweepService(backend="serial").run(configs)
+
+        queue = tmp_path / "queue"
+        workers = [spawn_worker(queue) for _ in range(2)]
+        try:
+            service = SweepService(backend="fileq", jobs=0,
+                                   queue_dir=queue, **FAST_Q)
+            results = service.run(configs)
+        finally:
+            terminate(workers)
+
+        assert [fields(r) for r in results] \
+            == [fields(r) for r in reference]
+        stats = service.last_stats
+        assert stats.simulated == len(configs)
+        assert not stats.manifest
+
+    def test_sigkilled_worker_cells_are_stolen_and_completed(
+            self, tmp_path):
+        """One worker wedges on a cell (injected hang) and is
+        SIGKILLed mid-attempt.  Its heartbeat stops, the supervisor
+        reclaims the claim as lost, the surviving worker completes the
+        retry — zero quarantined cells, results bit-identical."""
+        configs = expand_grid(**FIG12)
+        reference = SweepService(backend="serial").run(configs)
+
+        victim_config = configs[len(configs) // 2]
+        victim = cell_label(victim_config)
+        queue = tmp_path / "queue"
+        # Only the workers see the plan: whichever claims the victim
+        # cell's first attempt sleeps far past the test's patience.
+        plan = {"REPRO_FAULT_PLAN": f"hang:{victim}:1:120"}
+        workers = [spawn_worker(queue, extra_env=plan)
+                   for _ in range(2)]
+
+        victim_item = item_name(victim_config.canonical_json(), 1)
+        killed: dict = {}
+
+        def kill_wedged_worker() -> None:
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                for claim in queue.glob(f"claims/*/{victim_item}"):
+                    worker_id = claim.parent.name
+                    pid = int(worker_id.rsplit("-", 1)[1])
+                    os.kill(pid, signal.SIGKILL)
+                    killed["pid"] = pid
+                    return
+                time.sleep(0.01)
+
+        killer = threading.Thread(target=kill_wedged_worker,
+                                  daemon=True)
+        killer.start()
+        try:
+            service = SweepService(
+                backend="fileq", jobs=0, queue_dir=queue,
+                policy=SweepPolicy(retries=2, backoff=0.01),
+                **FAST_Q)
+            results = service.run(configs)
+        finally:
+            killer.join(timeout=5)
+            terminate(workers)
+
+        assert killed, "no worker ever claimed the wedged cell"
+        assert [fields(r) for r in results] \
+            == [fields(r) for r in reference]
+        stats = service.last_stats
+        assert stats.worker_deaths >= 1
+        assert stats.retries >= 1
+        assert not stats.manifest           # zero quarantined cells
+        assert stats.failed == 0
+        # The SIGKILLed process is really gone and the survivor did
+        # the rest.
+        assert any(proc.poll() == -signal.SIGKILL
+                   for proc in workers)

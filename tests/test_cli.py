@@ -43,6 +43,34 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "--workloads", "nope"])
 
+    def test_backend_defaults_to_auto(self):
+        for argv in (["sweep"], ["figure", "fig12"]):
+            args = build_parser().parse_args(argv)
+            assert args.backend == "auto"
+            assert args.queue_dir is None
+
+    def test_backend_choices(self):
+        args = build_parser().parse_args(
+            ["sweep", "--backend", "fileq", "--queue-dir", "q",
+             "--jobs", "0"])
+        assert args.backend == "fileq"
+        assert args.queue_dir == "q"
+        assert args.jobs == 0
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--backend", "smoke"])
+
+    def test_worker_subcommand_parses(self):
+        args = build_parser().parse_args(["worker", "--queue", "q"])
+        assert args.queue == "q"
+        assert args.max_idle is None
+        assert args.poll_interval == 0.05
+        assert args.heartbeat_interval == 1.0
+        assert args.stale_after == 5.0
+
+    def test_worker_requires_queue(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker"])
+
 
 class TestCommands:
     def test_run_prints_summary(self, capsys):
@@ -85,6 +113,47 @@ class TestCommands:
         assert main(argv) == 0
         out = capsys.readouterr().out
         assert "2 cached, 0 simulated" in out
+
+    def test_sweep_backend_serial_explicit(self, capsys):
+        assert main(["sweep", "--workloads", "rnd", "--mechanisms",
+                     "radix", "--cores", "1", "--refs", "300",
+                     "--scale", str(1 / 64),
+                     "--backend", "serial"]) == 0
+        assert "1 simulated" in capsys.readouterr().out
+
+    def test_sweep_backend_fileq_end_to_end(self, capsys, tmp_path):
+        """A fileq sweep with local workers through the CLI matches
+        the cached serial re-run cell for cell."""
+        argv = ["sweep", "--workloads", "rnd", "--mechanisms",
+                "radix", "ndpage", "--cores", "1", "--refs", "300",
+                "--scale", str(1 / 64),
+                "--backend", "fileq", "--jobs", "2",
+                "--queue-dir", str(tmp_path / "queue"),
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        assert "2 simulated" in capsys.readouterr().out
+        # Serial re-run over the same cache: everything is a hit, so
+        # the fileq results were persisted under the same keys.
+        serial = ["sweep", "--workloads", "rnd", "--mechanisms",
+                  "radix", "ndpage", "--cores", "1", "--refs", "300",
+                  "--scale", str(1 / 64), "--backend", "serial",
+                  "--cache-dir", str(tmp_path / "cache")]
+        assert main(serial) == 0
+        assert "2 cached, 0 simulated" in capsys.readouterr().out
+
+    def test_sweep_fileq_requires_queue_dir(self, capsys):
+        with pytest.raises(ValueError, match="queue_dir"):
+            main(["sweep", "--workloads", "rnd", "--mechanisms",
+                  "radix", "--cores", "1", "--refs", "300",
+                  "--backend", "fileq", "--jobs", "2"])
+
+    def test_worker_max_idle_drains_empty_queue(self, capsys,
+                                                tmp_path):
+        assert main(["worker", "--queue", str(tmp_path / "queue"),
+                     "--max-idle", "0.1",
+                     "--poll-interval", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "0 cell(s) executed" in out
 
     def test_figure_with_cache_dir(self, capsys, tmp_path):
         argv = ["figure", "fig10", "--refs", "300",
