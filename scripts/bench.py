@@ -303,6 +303,9 @@ def run_sweep_bench(refs: int, scale: float, jobs: int,
         "timeouts": stats.timeouts,
         "worker_deaths": stats.worker_deaths,
         "quarantined": stats.failed,
+        # Per-sweep telemetry snapshot (queue wait / attempt wall /
+        # cache-store histograms) from the supervisor's registry.
+        "metrics": stats.metrics,
     }
     if verbose:
         print(f"  sweep/{backend:<6} {references:>9,} refs  "

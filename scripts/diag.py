@@ -1,24 +1,18 @@
-"""Per-mechanism PTW/queue diagnostics on a few workloads."""
-import sys
-from repro import ndp_config, run_once
+"""Per-mechanism PTW/queue diagnostics — now ``repro diag``.
 
-cores = int(sys.argv[1]) if len(sys.argv) > 1 else 4
-refs = int(sys.argv[2]) if len(sys.argv) > 2 else 12000
-for wl in ['bfs', 'pr', 'xs', 'rnd']:
-    base = None
-    for m in ['radix', 'ech', 'hugepage', 'ndpage', 'ideal']:
-        r = run_once(ndp_config(workload=wl, mechanism=m, num_cores=cores,
-                                refs_per_core=refs))
-        if m == 'radix':
-            base = r
-        dram = sum(r.dram_accesses_by_kind.values())
-        meta_dram = r.dram_accesses_by_kind.get('metadata', 0)
-        cyc_per_ref = r.cycles * cores / max(1, r.references)
-        print(f"{wl:4s} {m:9s} sp={base.cycles/r.cycles:5.2f} "
-              f"ptw={r.ptw_latency_mean:6.1f} "
-              f"qd={r.dram_queue_delay_mean:6.1f} "
-              f"pte_acc={r.pte_memory_accesses:6d} "
-              f"dram={dram:7d} meta_dram={meta_dram:6d} "
-              f"cyc/ref={cyc_per_ref:6.1f} "
-              f"tf={r.translation_fraction:.2f}")
-    print()
+Thin compatibility shim: ``python scripts/diag.py [CORES [REFS]]``
+forwards to the ``repro diag`` subcommand, which adds
+``--workloads`` / ``--mechanisms`` selection on top of the original
+positional knobs.
+"""
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    argv = ["diag"]
+    if len(sys.argv) > 1:
+        argv += ["--cores", sys.argv[1]]
+    if len(sys.argv) > 2:
+        argv += ["--refs", sys.argv[2]]
+    sys.exit(main(argv))

@@ -35,9 +35,11 @@ import dataclasses
 import hashlib
 import json
 import os
+import time
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
+from repro.obs.events import emit
 from repro.sim.config import SystemConfig
 from repro.sim.faults import cell_label, maybe_corrupt_entry
 from repro.sim.runner import RunResult
@@ -219,6 +221,7 @@ class ResultCache:
                 status = "corrupt"
             else:
                 self.stats.hits += 1
+                emit("cache.hit", key=path.stem)
                 if status == "v1":
                     # v1 -> v2 migration: rewrite with a checksum so
                     # integrity covers this entry from now on.
@@ -227,6 +230,7 @@ class ResultCache:
         self.stats.misses += 1
         if status == "corrupt":
             self.stats.corrupt += 1
+            emit("cache.corrupt", key=path.stem)
             self._quarantine(path)
         return None
 
@@ -247,11 +251,14 @@ class ResultCache:
         }
         # Created on first write, not in __init__, so a cache that is
         # only ever consulted leaves no empty directory behind.
+        start = time.perf_counter()
         self.root.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         tmp.write_text(json.dumps(entry) + "\n")
         os.replace(tmp, path)
         self.stats.stores += 1
+        emit("cache.store", key=path.stem,
+             wall=round(time.perf_counter() - start, 6))
         # Fault-injection seam (no-op unless a corrupt clause is
         # active): perturbs the entry just written, as a torn write or
         # bad disk would.

@@ -25,6 +25,12 @@ so figures parallelize and resume::
     python -m repro worker --queue .sweep-queue &
     python -m repro figure fig12 --backend fileq --jobs 0 \\
         --queue-dir .sweep-queue --cache-dir .sweep-cache
+
+Observability: every sweep command takes ``--events-out PATH``
+(structured JSONL telemetry) and ``--progress`` (live status line);
+``repro trace`` turns an event log into a Chrome trace, ``repro
+status`` inspects a fileq queue directory, and ``repro cache
+verify|gc`` audits the result cache.
 """
 
 from __future__ import annotations
@@ -32,6 +38,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 from repro.analysis import experiments
@@ -135,6 +142,13 @@ def _add_sweep_opts(parser):
     parser.add_argument("--manifest-out", default=None, metavar="PATH",
                         help="write the failure manifest (plus retry/"
                              "timeout counters) as JSON to PATH")
+    parser.add_argument("--events-out", default=None, metavar="PATH",
+                        help="append structured telemetry events as "
+                             "JSONL to PATH (replayable with "
+                             "`repro trace`)")
+    parser.add_argument("--progress", action="store_true",
+                        help="stream a live progress line to stderr "
+                             "while the sweep executes")
 
 
 def _service_from(args) -> SweepService:
@@ -145,7 +159,9 @@ def _service_from(args) -> SweepService:
                          strict=not args.keep_going)
     return SweepService(backend=args.backend, jobs=args.jobs,
                         cache=cache, policy=policy,
-                        queue_dir=args.queue_dir)
+                        queue_dir=args.queue_dir,
+                        events_out=args.events_out,
+                        progress=args.progress)
 
 
 def _finish_sweep(args, service) -> int:
@@ -328,9 +344,120 @@ def cmd_worker(args) -> int:
                           poll_interval=args.poll_interval,
                           heartbeat_interval=args.heartbeat_interval,
                           stale_after=args.stale_after,
-                          max_idle=args.max_idle)
+                          max_idle=args.max_idle,
+                          events_out=args.events_out,
+                          log_stream=(None if args.quiet
+                                      else sys.stderr))
     print(f"worker {summary['worker']}: "
           f"{summary['cells']} cell(s) executed")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Export the per-cell spans of an event log as Chrome-trace JSON
+    (open in chrome://tracing or https://ui.perfetto.dev)."""
+    from repro.obs.trace import export_trace
+    out = args.out or str(Path(args.events).with_suffix(".trace.json"))
+    trace = export_trace(args.events, out, cell=args.cell)
+    spans = sum(1 for entry in trace["traceEvents"]
+                if entry.get("ph") == "X")
+    lanes = sum(1 for entry in trace["traceEvents"]
+                if entry.get("ph") == "M")
+    print(f"trace: {lanes} cell(s), {spans} span(s) -> {out}")
+    return 0
+
+
+def cmd_status(args) -> int:
+    """Read-only introspection of a fileq queue directory: todo depth,
+    per-worker heartbeat age and claim count, stale-claim flags.
+    Never moves or deletes anything — a running sweep's reclaim logic
+    owns that."""
+    from repro.sim.backends.fileq import QueueLayout
+    layout = QueueLayout(args.queue)
+    if not layout.root.is_dir():
+        print(f"no queue directory at {layout.root}")
+        return 1
+    now = time.time()
+    todo = (sorted(layout.todo.glob("*.json"))
+            if layout.todo.is_dir() else [])
+    pending = (sum(1 for _ in layout.results.glob("*.json"))
+               if layout.results.is_dir() else 0)
+    workers = set()
+    if layout.workers.is_dir():
+        workers.update(p.stem for p in layout.workers.glob("*.hb"))
+    if layout.claims.is_dir():
+        workers.update(p.name for p in layout.claims.iterdir()
+                       if p.is_dir())
+    rows, stale_claims = [], 0
+    for worker_id in sorted(workers):
+        try:
+            age = now - layout.heartbeat(worker_id).stat().st_mtime
+        except OSError:
+            age = None
+        claims_dir = layout.claims / worker_id
+        claims = (sum(1 for _ in claims_dir.glob("*.json"))
+                  if claims_dir.is_dir() else 0)
+        live = age is not None and age < args.stale_after
+        if not live:
+            stale_claims += claims
+        rows.append([worker_id,
+                     f"{age:.1f}s" if age is not None else "-",
+                     claims, "live" if live else "STALE"])
+    print(f"queue {layout.root}: {len(todo)} todo item(s), "
+          f"{pending} result(s) awaiting the supervisor")
+    if rows:
+        print(format_table(
+            ["worker", "heartbeat", "claims", "state"], rows,
+            title=f"workers ({len(rows)})"))
+    else:
+        print("no workers have registered")
+    if stale_claims:
+        print(f"warning: {stale_claims} claim(s) held by stale "
+              f"workers — a running sweep (or an idle worker) will "
+              f"reclaim them")
+    return 0
+
+
+def cmd_cache(args) -> int:
+    """Audit (`verify`) or clean (`gc`) an on-disk result cache."""
+    cache = ResultCache(args.cache_dir)
+    if args.action == "verify":
+        report = cache.verify()
+        print(f"cache {cache.root}: {report.summary()}")
+        return 0
+    removed = cache.gc()
+    total = sum(removed.values())
+    detail = ", ".join(f"{count} {kind}"
+                       for kind, count in sorted(removed.items()))
+    print(f"cache {cache.root}: removed {total} file(s) ({detail})")
+    return 0
+
+
+def cmd_diag(args) -> int:
+    """Per-mechanism PTW/queue diagnostics on a few workloads (the
+    former scripts/diag.py): speedup, PTW latency, DRAM queueing,
+    PTE traffic per workload x mechanism."""
+    for workload in args.workloads:
+        base = None
+        for mechanism in args.mechanisms:
+            result = run_once(ndp_config(
+                workload=workload, mechanism=mechanism,
+                num_cores=args.cores, refs_per_core=args.refs))
+            if base is None:
+                base = result
+            dram = sum(result.dram_accesses_by_kind.values())
+            meta = result.dram_accesses_by_kind.get("metadata", 0)
+            cyc_per_ref = (result.cycles * args.cores
+                           / max(1, result.references))
+            print(f"{workload:4s} {mechanism:9s} "
+                  f"sp={base.cycles / result.cycles:5.2f} "
+                  f"ptw={result.ptw_latency_mean:6.1f} "
+                  f"qd={result.dram_queue_delay_mean:6.1f} "
+                  f"pte_acc={result.pte_memory_accesses:6d} "
+                  f"dram={dram:7d} meta_dram={meta:6d} "
+                  f"cyc/ref={cyc_per_ref:6.1f} "
+                  f"tf={result.translation_fraction:.2f}")
+        print()
     return 0
 
 
@@ -413,7 +540,61 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="SECONDS",
                           help="heartbeat age after which another "
                                "worker's claims are stolen")
+    worker_p.add_argument("--events-out", default=None, metavar="PATH",
+                          help="append this worker's telemetry events "
+                               "as JSONL to PATH")
+    worker_p.add_argument("--quiet", action="store_true",
+                          help="suppress the timestamped per-cell log "
+                               "lines on stderr")
     worker_p.set_defaults(func=cmd_worker)
+
+    trace_p = sub.add_parser(
+        "trace", help="export a Chrome trace from a sweep event log")
+    trace_p.add_argument("events", metavar="EVENTS",
+                         help="JSONL event log written via "
+                              "--events-out")
+    trace_p.add_argument("--out", default=None, metavar="PATH",
+                         help="output path (default: EVENTS with a "
+                              ".trace.json suffix)")
+    trace_p.add_argument("--cell", default=None, metavar="SUBSTR",
+                         help="keep only cells whose label or key "
+                              "contains SUBSTR")
+    trace_p.set_defaults(func=cmd_trace)
+
+    status_p = sub.add_parser(
+        "status",
+        help="inspect a fileq queue directory (read-only)")
+    status_p.add_argument("--queue", required=True, metavar="DIR",
+                          help="the sweep's --queue-dir")
+    status_p.add_argument("--stale-after", type=float, default=5.0,
+                          metavar="SECONDS",
+                          help="heartbeat age that flags a worker as "
+                               "stale")
+    status_p.set_defaults(func=cmd_status)
+
+    cache_p = sub.add_parser(
+        "cache", help="audit or clean an on-disk result cache")
+    cache_p.add_argument("action", choices=("verify", "gc"),
+                         help="verify: checksum every entry, "
+                              "quarantine corrupt ones; gc: remove "
+                              "stale/corrupt/quarantined files")
+    cache_p.add_argument("--cache-dir", required=True, metavar="DIR",
+                         help="the cache directory to audit")
+    cache_p.set_defaults(func=cmd_cache)
+
+    diag_p = sub.add_parser(
+        "diag", help="per-mechanism PTW/queue diagnostics")
+    diag_p.add_argument("--cores", type=int, default=4)
+    diag_p.add_argument("--refs", type=int, default=12000,
+                        help="memory references per core")
+    diag_p.add_argument("--workloads", nargs="+",
+                        choices=ALL_WORKLOADS,
+                        default=["bfs", "pr", "xs", "rnd"])
+    diag_p.add_argument("--mechanisms", nargs="+",
+                        choices=sorted(MECHANISMS),
+                        default=["radix", "ech", "hugepage", "ndpage",
+                                 "ideal"])
+    diag_p.set_defaults(func=cmd_diag)
 
     wl_p = sub.add_parser("workloads", help="list Table II workloads")
     wl_p.set_defaults(func=cmd_workloads)

@@ -1,0 +1,50 @@
+"""Observability: structured events, metrics, progress, and traces.
+
+The telemetry spine over the execution stack.  Everything here is
+default-off: with no sink installed, :func:`repro.obs.events.emit` is
+one global load and a compare, so fault-free sweeps stay bit-identical
+with zero hot-path cost.  Instrumentation lives at supervisor /
+backend / cache granularity — never inside ``Core.step_until``.
+
+* :mod:`repro.obs.events` — typed, versioned event records emitted to
+  a pluggable sink (JSONL file with atomic appends; null by default).
+* :mod:`repro.obs.metrics` — a tiny counter/gauge/histogram registry
+  the supervisor updates, snapshotted into ``SweepStats``.
+* :mod:`repro.obs.progress` — a live TTY progress view driven off the
+  event stream (``--progress`` on ``repro sweep`` / ``figure``).
+* :mod:`repro.obs.trace` — per-cell spans exported as Chrome-trace
+  JSON (``repro trace``).
+"""
+
+from repro.obs.events import (
+    SCHEMA_VERSION,
+    Event,
+    JsonlSink,
+    MemorySink,
+    MultiSink,
+    NullSink,
+    emit,
+    read_events,
+    session,
+    set_sink,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import ProgressState, ProgressView
+from repro.obs.trace import build_trace
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Event",
+    "JsonlSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "MultiSink",
+    "NullSink",
+    "ProgressState",
+    "ProgressView",
+    "build_trace",
+    "emit",
+    "read_events",
+    "session",
+    "set_sink",
+]

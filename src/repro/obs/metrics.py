@@ -1,0 +1,135 @@
+"""A tiny counter/gauge/histogram registry for sweep telemetry.
+
+Deliberately minimal — no labels, no exposition server, no background
+threads.  The backend-agnostic supervisor creates one
+:class:`MetricsRegistry` per sweep, updates it at cell granularity
+(dispatches, queue wait, attempt wall, cache-store time), and
+snapshots it into ``SweepStats.metrics`` when the sweep finishes, so
+the breakdown rides along wherever the stats already go — the CLI
+summary line's data source, ``scripts/bench.py``'s sweep block, and
+any future service response.
+
+Histograms track count/sum/min/max plus fixed power-of-two duration
+buckets (1 ms .. ~65 s), which is enough to answer "where does
+wall-clock go: queued, executing, or storing?" without reservoirs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+#: Histogram bucket upper bounds in seconds: 1 ms .. 65.536 s, powers
+#: of two, plus a +Inf overflow bucket.  Chosen for durations — cells
+#: run milliseconds to minutes.
+BUCKET_BOUNDS = tuple(0.001 * (2 ** i) for i in range(17))
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def snapshot(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """count / sum / min / max / mean plus fixed duration buckets."""
+
+    __slots__ = ("count", "total", "vmin", "vmax", "buckets")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.vmin: Optional[float] = None
+        self.vmax: Optional[float] = None
+        self.buckets: List[int] = [0] * (len(BUCKET_BOUNDS) + 1)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.vmin is None or value < self.vmin:
+            self.vmin = value
+        if self.vmax is None or value > self.vmax:
+            self.vmax = value
+        for index, bound in enumerate(BUCKET_BOUNDS):
+            if value <= bound:
+                self.buckets[index] += 1
+                return
+        self.buckets[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": round(self.total, 6),
+            "min": round(self.vmin, 6) if self.vmin is not None
+            else None,
+            "max": round(self.vmax, 6) if self.vmax is not None
+            else None,
+            "mean": round(self.mean, 6),
+        }
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use, snapshotted as one dict.
+
+    >>> registry = MetricsRegistry()
+    >>> registry.counter("cells.dispatched").inc()
+    >>> registry.histogram("cell.attempt_s").observe(0.25)
+    >>> registry.snapshot()["cells.dispatched"]
+    1
+    """
+
+    def __init__(self):
+        self._metrics: Dict[str, object] = {}
+
+    def _get(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls()
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}")
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-data (JSON-safe) view of every metric, sorted by
+        name: counters/gauges as scalars, histograms as dicts."""
+        return {name: self._metrics[name].snapshot()
+                for name in sorted(self._metrics)}

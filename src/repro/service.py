@@ -33,8 +33,11 @@ backend-agnostic supervisor in :mod:`repro.sim.sweep`.
 
 from __future__ import annotations
 
+import contextlib
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
+from repro.obs.events import JsonlSink, session
+from repro.obs.progress import ProgressView
 from repro.sim.backends.base import BACKEND_NAMES, BackendSpec
 from repro.sim.config import SystemConfig
 from repro.sim.runner import RunResult
@@ -144,6 +147,14 @@ class SweepService:
         :meth:`run_grid`.
     queue_dir:
         The fileq coordination directory (required for ``fileq``).
+    events_out:
+        Path of a JSONL event log; every sweep run through the
+        service appends its structured telemetry there (see
+        :mod:`repro.obs.events`).  ``None`` (default) keeps the
+        telemetry spine disabled — a true no-op on the hot path.
+    progress:
+        Stream a live progress line to ``progress_stream`` (stderr
+        by default) while sweeps execute.
     """
 
     def __init__(self, backend: Union[str, BackendSpec] = "auto",
@@ -151,7 +162,9 @@ class SweepService:
                  policy: Optional[SweepPolicy] = None,
                  queue_dir=None,
                  heartbeat_interval: Optional[float] = None,
-                 stale_after: Optional[float] = None):
+                 stale_after: Optional[float] = None,
+                 events_out=None, progress: bool = False,
+                 progress_stream=None):
         if cache is None and cache_dir is not None:
             from repro.analysis.cache import ResultCache
             cache = ResultCache(cache_dir)
@@ -171,6 +184,9 @@ class SweepService:
         self.spec = spec
         self.cache = cache
         self.policy = policy or SweepPolicy()
+        self.events_out = events_out
+        self.progress = progress
+        self.progress_stream = progress_stream
         self.last_stats = SweepStats()
         self._handles: Dict[str, CellHandle] = {}
 
@@ -245,10 +261,18 @@ class SweepService:
         return self.run_grid(configs, run_fn=run_fn).results
 
     def _execute(self, configs, policy, run_fn):
-        results, stats = execute_sweep(configs, spec=self.spec,
-                                       policy=policy,
-                                       cache=self.cache,
-                                       run_fn=run_fn)
+        with contextlib.ExitStack() as stack:
+            if self.events_out:
+                stack.enter_context(
+                    session(JsonlSink(self.events_out)))
+            if self.progress:
+                stack.enter_context(
+                    session(ProgressView(
+                        stream=self.progress_stream)))
+            results, stats = execute_sweep(configs, spec=self.spec,
+                                           policy=policy,
+                                           cache=self.cache,
+                                           run_fn=run_fn)
         self.last_stats = stats
         return results, stats
 

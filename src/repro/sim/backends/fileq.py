@@ -41,6 +41,7 @@ simulator is deterministic and the cell payload is the portable
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import multiprocessing
@@ -52,6 +53,7 @@ import traceback
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from repro.obs.events import JsonlSink, emit, session
 from repro.sim.backends.base import Attempt, Outcome, SweepBackend
 from repro.sim.config import SystemConfig
 from repro.sim.faults import FaultPlan, apply_cell_faults
@@ -180,73 +182,124 @@ def worker_loop(queue_dir: Union[str, Path],
                 heartbeat_interval: float = HEARTBEAT_INTERVAL,
                 stale_after: float = STALE_AFTER,
                 max_idle: Optional[float] = None,
-                stop_event=None) -> Dict[str, object]:
+                stop_event=None,
+                events_out: Optional[Union[str, Path]] = None,
+                log_stream=None) -> Dict[str, object]:
     """Run one queue worker until stopped or idle for ``max_idle`` s.
 
     The entry point behind ``repro worker --queue DIR`` and the
     supervisor's local workers.  Fault plans come from ``plan_text``
     or, when unset, the ``REPRO_FAULT_PLAN`` environment variable —
     so external workers honor the same chaos plans as pool workers.
+
+    ``log_stream`` receives structured timestamped progress lines
+    (``repro worker`` passes stderr); ``events_out`` additionally
+    opens a JSONL event sink of the worker's own, so an external
+    worker's claim/executed/heartbeat events can be merged with the
+    supervisor's log afterwards.  Local workers forked by the
+    supervisor inherit its sink instead and need neither.
     """
     from repro.analysis.cache import result_to_dict
 
     layout = QueueLayout(queue_dir)
     layout.ensure()
     worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
-    my_claims = layout.claims / worker_id
-    my_claims.mkdir(parents=True, exist_ok=True)
-    heartbeat_path = layout.heartbeat(worker_id)
-    heartbeat_path.touch()
-    heartbeat = _Heartbeat(heartbeat_path, heartbeat_interval)
-    heartbeat.start()
 
-    plan = (FaultPlan.parse(plan_text) if plan_text
-            else FaultPlan.from_env())
-    plan = plan if plan else None
-    fn = run_fn or run_once
-    executed = 0
-    idle_since = time.monotonic()
-    try:
-        while not (stop_event is not None and stop_event.is_set()):
-            claim = _claim_next(layout, my_claims)
-            if claim is None:
-                if _steal_stale_claims(layout, worker_id, stale_after):
-                    continue
-                if (max_idle is not None
-                        and time.monotonic() - idle_since > max_idle):
-                    break
-                time.sleep(poll_interval)
-                continue
-            item = _read_json(claim)
-            if item is None:
-                claim.unlink(missing_ok=True)
-                continue
-            key, attempt = item["key"], item["attempt"]
-            label = item.get("label", "")
-            outcome: Dict[str, object] = {
-                "key": key, "attempt": attempt, "worker": worker_id}
-            try:
-                config = SystemConfig.from_dict(item["config"])
-                if plan is not None:
-                    apply_cell_faults(plan, label, attempt)
-                result = fn(config)
-                outcome["ok"] = True
-                outcome["result"] = result_to_dict(result)
-            except Exception:
-                outcome["ok"] = False
-                outcome["error"] = traceback.format_exc()
-            _atomic_write(layout.results / item_name(key, attempt),
-                          outcome)
-            claim.unlink(missing_ok=True)
-            executed += 1
-            idle_since = time.monotonic()
-    finally:
-        heartbeat.stop()
-        heartbeat_path.unlink(missing_ok=True)
+    def log(message: str) -> None:
+        emit("worker.log", worker=worker_id, message=message)
+        if log_stream is not None:
+            stamp = time.strftime("%Y-%m-%dT%H:%M:%S")
+            log_stream.write(f"{stamp} [{worker_id}] {message}\n")
+            log_stream.flush()
+
+    with contextlib.ExitStack() as stack:
+        if events_out:
+            stack.enter_context(session(JsonlSink(events_out)))
+            emit("worker.spawned", worker=worker_id, backend="fileq")
+        my_claims = layout.claims / worker_id
+        my_claims.mkdir(parents=True, exist_ok=True)
+        heartbeat_path = layout.heartbeat(worker_id)
+        heartbeat_path.touch()
+        heartbeat = _Heartbeat(heartbeat_path, heartbeat_interval)
+        heartbeat.start()
+        log(f"online, queue={layout.root}")
+
+        plan = (FaultPlan.parse(plan_text) if plan_text
+                else FaultPlan.from_env())
+        plan = plan if plan else None
+        fn = run_fn or run_once
+        executed = 0
+        idle_since = time.monotonic()
+        last_beat = time.monotonic()
         try:
-            my_claims.rmdir()   # only if empty: crashed claims persist
-        except OSError:
-            pass
+            while not (stop_event is not None
+                       and stop_event.is_set()):
+                now = time.monotonic()
+                if now - last_beat >= heartbeat_interval:
+                    emit("worker.heartbeat", worker=worker_id,
+                         executed=executed)
+                    last_beat = now
+                claim = _claim_next(layout, my_claims)
+                if claim is None:
+                    stolen = _steal_stale_claims(
+                        layout, worker_id, stale_after)
+                    if stolen:
+                        log(f"stole {stolen} stale claim(s)")
+                        continue
+                    if (max_idle is not None
+                            and time.monotonic() - idle_since
+                            > max_idle):
+                        log("idle timeout, exiting")
+                        break
+                    time.sleep(poll_interval)
+                    continue
+                item = _read_json(claim)
+                if item is None:
+                    claim.unlink(missing_ok=True)
+                    continue
+                key, attempt = item["key"], item["attempt"]
+                label = item.get("label", "")
+                emit("worker.claim", worker=worker_id, key=key,
+                     attempt=attempt)
+                log(f"claim {label or key[:16]} attempt {attempt}")
+                outcome: Dict[str, object] = {
+                    "key": key, "attempt": attempt,
+                    "worker": worker_id}
+                started = time.perf_counter()
+                try:
+                    config = SystemConfig.from_dict(item["config"])
+                    if plan is not None:
+                        apply_cell_faults(plan, label, attempt)
+                    result = fn(config)
+                    outcome["ok"] = True
+                    outcome["result"] = result_to_dict(result)
+                except Exception:
+                    outcome["ok"] = False
+                    outcome["error"] = traceback.format_exc()
+                wall = round(time.perf_counter() - started, 6)
+                _atomic_write(
+                    layout.results / item_name(key, attempt),
+                    outcome)
+                claim.unlink(missing_ok=True)
+                executed += 1
+                idle_since = time.monotonic()
+                emit("worker.executed", worker=worker_id, key=key,
+                     attempt=attempt, ok=bool(outcome["ok"]),
+                     wall=wall)
+                log(f"{'done' if outcome['ok'] else 'error'} "
+                    f"{label or key[:16]} attempt {attempt} "
+                    f"({wall:.3f}s)")
+        finally:
+            heartbeat.stop()
+            heartbeat_path.unlink(missing_ok=True)
+            try:
+                my_claims.rmdir()   # only if empty: crashes persist
+            except OSError:
+                pass
+            log(f"offline after {executed} cell(s)")
+            if events_out:
+                emit("worker.died", worker=worker_id,
+                     reason="shutdown")
     return {"worker": worker_id, "cells": executed}
 
 
@@ -279,6 +332,7 @@ class FileQueueBackend(SweepBackend):
         self._plan_text: Optional[str] = None
         self._local: Dict[str, multiprocessing.Process] = {}
         self._dead_ids: set = set()
+        self._reported_stale: set = set()
         self._spawned = 0
 
     # -- lifecycle ---------------------------------------------------
@@ -320,6 +374,7 @@ class FileQueueBackend(SweepBackend):
             daemon=True)
         process.start()
         self._local[worker_id] = process
+        emit("worker.spawned", worker=worker_id, backend=self.name)
 
     def close(self) -> None:
         for process in self._local.values():
@@ -417,6 +472,10 @@ class FileQueueBackend(SweepBackend):
                     age = None
                 if age is not None and age < self.stale_after:
                     continue
+                if worker_id not in self._reported_stale:
+                    self._reported_stale.add(worker_id)
+                    emit("worker.died", worker=worker_id,
+                         reason="stale heartbeat")
             for path in sorted(owner.glob("*.json")):
                 item = _read_json(path)
                 try:
@@ -438,4 +497,6 @@ class FileQueueBackend(SweepBackend):
             process.join(timeout=0.5)
             del self._local[worker_id]
             self._dead_ids.add(worker_id)
+            emit("worker.died", worker=worker_id,
+                 reason=f"exit code {process.exitcode}")
             self._spawn_local()

@@ -16,6 +16,7 @@ import traceback
 from multiprocessing import connection
 from typing import Callable, List, Optional
 
+from repro.obs.events import emit
 from repro.sim.backends.base import Attempt, Outcome, SweepBackend
 from repro.sim.config import SystemConfig
 from repro.sim.faults import FaultPlan, apply_cell_faults, cell_label
@@ -98,6 +99,8 @@ class PoolBackend(SweepBackend):
             args=(child, self._run_fn, self._plan_text), daemon=True)
         process.start()
         child.close()
+        emit("worker.spawned", worker=f"pool-{process.pid}",
+             backend=self.name)
         return _Worker(parent, process)
 
     def _respawn(self, worker: _Worker, kill: bool = False) -> _Worker:
@@ -111,6 +114,9 @@ class PoolBackend(SweepBackend):
             worker.conn.close()
         except OSError:
             pass
+        emit("worker.died", worker=f"pool-{worker.process.pid}",
+             reason=("killed by supervisor (timeout)" if kill
+                     else f"exit code {worker.process.exitcode}"))
         replacement = self._spawn()
         self._workers[self._workers.index(worker)] = replacement
         return replacement

@@ -77,6 +77,8 @@ from typing import (
     Union,
 )
 
+from repro.obs.events import emit
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.backends.base import Attempt, BackendSpec, SweepBackend
 from repro.sim.config import SystemConfig, cpu_config, ndp_config
 from repro.sim.faults import FaultPlan, cell_label
@@ -206,6 +208,11 @@ class SweepStats:
     timeouts: int = 0         # cell attempts killed for exceeding timeout
     worker_deaths: int = 0    # workers that died mid-cell (and respawns)
     manifest: FailureManifest = field(default_factory=FailureManifest)
+    #: Telemetry snapshot (queue-wait / attempt-wall / cache-store
+    #: histograms and dispatch counters) from the sweep's
+    #: :class:`~repro.obs.metrics.MetricsRegistry`; empty when no
+    #: cell was simulated.
+    metrics: Dict[str, object] = field(default_factory=dict)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -284,7 +291,8 @@ class _CellWork:
     """One unique cell's dispatch state inside the supervisor."""
 
     __slots__ = ("pos", "key", "config", "data", "label", "attempt",
-                 "not_before", "deadline")
+                 "not_before", "deadline", "ready_since",
+                 "dispatched_at")
 
     def __init__(self, pos: int, key: str, config: SystemConfig):
         self.pos = pos
@@ -295,6 +303,8 @@ class _CellWork:
         self.attempt = 0                       # dispatches so far
         self.not_before = 0.0                  # backoff gate
         self.deadline: Optional[float] = None  # timeout gate
+        self.ready_since = 0.0                 # telemetry: queue wait
+        self.dispatched_at = 0.0               # telemetry: attempt wall
 
 
 def execute_sweep(configs: Sequence[SystemConfig],
@@ -334,53 +344,94 @@ def execute_sweep(configs: Sequence[SystemConfig],
                        cache_hits=len(unique) - len(missing),
                        simulated=len(missing),
                        jobs=max(1, spec.jobs))
+    emit("sweep.started", cells=len(configs), unique=len(unique),
+         cached=stats.cache_hits, missing=len(missing),
+         backend=spec.name, jobs=spec.jobs)
 
     if missing:
         backend = spec.resolve(len(missing), policy.cell_timeout)
+        registry = MetricsRegistry()
         _execute_missing(backend, missing, results, run_fn, stats,
-                         policy, cache)
+                         policy, cache, registry)
+        stats.metrics = registry.snapshot()
 
     stats.failed = len(stats.manifest)
     stats.references = sum(
         results[key].references for key, _ in missing
         if key in results)
     stats.wall_seconds = time.perf_counter() - start
+    emit("sweep.finished", cells=stats.cells,
+         completed=len(missing) - stats.failed, failed=stats.failed,
+         retries=stats.retries, wall=round(stats.wall_seconds, 6))
     return [results.get(key) for key in keys], stats
 
 
 def _execute_missing(backend: SweepBackend, missing, results, run_fn,
                      stats: SweepStats, policy: SweepPolicy,
-                     cache) -> None:
+                     cache,
+                     registry: Optional[MetricsRegistry] = None
+                     ) -> None:
     """The supervisor loop: dispatch cells into the backend, collect
     outcomes, and apply the retry/backoff/timeout/quarantine contract
     uniformly — the backend only executes attempts and reports what
-    became of them."""
+    became of them.
+
+    This loop also owns the canonical per-cell telemetry: every
+    attempt's lifecycle (``cell.dispatched`` → ``cell.completed`` /
+    ``cell.failed`` → ``cell.retried`` / ``cell.quarantined``) is
+    emitted *here*, supervisor-side, so the event log is complete for
+    every backend — including attempts whose executor vanished without
+    reporting anything.  ``registry`` collects the timing breakdown
+    (queue wait, attempt wall, cache-store time).
+    """
     plan = policy.active_plan()
     plan_text = plan.to_text() if plan is not None else None
     timeout = (policy.cell_timeout if backend.supports_timeout
                else None)
+    registry = registry if registry is not None else MetricsRegistry()
+    queue_wait = registry.histogram("cell.queue_wait_s")
+    attempt_wall = registry.histogram("cell.attempt_s")
+    store_wall = registry.histogram("cache.store_s")
+    dispatched = registry.counter("cells.dispatched")
+    start_mono = time.monotonic()
     ready: deque = deque(
         _CellWork(pos, key, config)
         for pos, (key, config) in enumerate(missing))
+    for cell in ready:
+        cell.ready_since = start_mono
     waiting: List[_CellWork] = []     # cells in backoff delay
     inflight: Dict[str, _CellWork] = {}
     outstanding = len(missing)
 
-    def settle_ok(cell: _CellWork, result) -> None:
+    def settle_ok(cell: _CellWork, result, now: float) -> None:
+        wall = now - cell.dispatched_at
+        attempt_wall.observe(wall)
         results[cell.key] = result
         if cache is not None:
+            store_start = time.perf_counter()
             cache.store(cell.config, result, key=cell.key)
+            store_wall.observe(time.perf_counter() - store_start)
+        emit("cell.completed", key=cell.key, label=cell.label,
+             attempt=cell.attempt, wall=round(wall, 6))
 
     def failed(cell: _CellWork, kind: str, error: str,
                now: float) -> int:
         """Retry or quarantine a failed attempt; returns settled."""
+        emit("cell.failed", key=cell.key, label=cell.label,
+             attempt=cell.attempt, kind=kind)
         if cell.attempt >= policy.retries + 1:
+            registry.counter("cells.quarantined").inc()
+            emit("cell.quarantined", key=cell.key, label=cell.label,
+                 attempts=cell.attempt, kind=kind)
             stats.manifest.failures.append(CellFailure(
                 key=cell.key, label=cell.label,
                 attempts=cell.attempt, kind=kind, error=error))
             return 1
-        cell.not_before = (now + policy.backoff
-                           * (2 ** (cell.attempt - 1)))
+        delay = policy.backoff * (2 ** (cell.attempt - 1))
+        cell.not_before = now + delay
+        cell.ready_since = cell.not_before
+        emit("cell.retried", key=cell.key, label=cell.label,
+             attempt=cell.attempt, delay=round(delay, 6))
         waiting.append(cell)
         return 0
 
@@ -417,6 +468,11 @@ def _execute_missing(backend: SweepBackend, missing, results, run_fn,
                 now = time.monotonic()
                 cell.deadline = ((now + timeout) if timeout
                                  else None)
+                cell.dispatched_at = now
+                queue_wait.observe(max(0.0, now - cell.ready_since))
+                dispatched.inc()
+                emit("cell.dispatched", key=cell.key,
+                     label=cell.label, attempt=cell.attempt)
                 inflight[cell.key] = cell
 
             if not inflight:
@@ -442,7 +498,7 @@ def _execute_missing(backend: SweepBackend, missing, results, run_fn,
                     # Results are deterministic, so an ok outcome is
                     # accepted even from a superseded attempt.
                     del inflight[outcome.key]
-                    settle_ok(cell, outcome.result)
+                    settle_ok(cell, outcome.result, now)
                     outstanding -= 1
                     continue
                 if outcome.attempt != cell.attempt:
@@ -450,6 +506,7 @@ def _execute_missing(backend: SweepBackend, missing, results, run_fn,
                 del inflight[outcome.key]
                 if outcome.status == "lost":
                     stats.worker_deaths += 1
+                    registry.counter("workers.lost").inc()
                     kind = "worker-died"
                 else:
                     kind = "error"
@@ -460,8 +517,11 @@ def _execute_missing(backend: SweepBackend, missing, results, run_fn,
                     if cell.deadline is None or now < cell.deadline:
                         continue
                     stats.timeouts += 1
+                    registry.counter("cells.timeout").inc()
                     backend.cancel(key, cell.attempt)
                     del inflight[key]
+                    emit("cell.timeout", key=cell.key,
+                         label=cell.label, attempt=cell.attempt)
                     error = (f"cell exceeded cell_timeout="
                              f"{policy.cell_timeout}s on attempt "
                              f"{cell.attempt}; worker killed")

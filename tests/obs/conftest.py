@@ -1,0 +1,14 @@
+"""Shared fixtures for the observability tests."""
+
+import pytest
+
+from repro.obs import events
+
+
+@pytest.fixture(autouse=True)
+def _no_global_sink():
+    """Telemetry is process-global state: make every test start and
+    end with emission disabled, whatever it installs in between."""
+    previous = events.set_sink(None)
+    yield
+    events.set_sink(previous)

@@ -1,0 +1,130 @@
+"""Cross-backend event-lifecycle tests: for every backend, an enabled
+event log must contain a complete per-cell lifecycle — every
+dispatched cell reaches completed or quarantined — including when a
+worker is SIGKILLed mid-sweep.  And with telemetry off (the default),
+sweeps must behave identically to an instrumented run."""
+
+import dataclasses
+
+import pytest
+
+from repro.obs.events import get_sink, read_events
+from repro.service import SweepPolicy, SweepService
+from repro.sim.faults import FAULT_PLAN_ENV, reset_fired
+from repro.sim.sweep import expand_grid
+
+TINY = dict(refs_per_core=200, scale=1 / 64, seed=7)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_faults(monkeypatch):
+    monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+    reset_fired()
+    yield
+    reset_fired()
+
+
+def tiny_grid():
+    return expand_grid(workloads=("rnd", "bfs"),
+                       mechanisms=("radix", "ndpage"), **TINY)
+
+
+def lifecycle(events):
+    started = [e for e in events if e.type == "sweep.started"]
+    dispatched = {e.data["key"] for e in events
+                  if e.type == "cell.dispatched"}
+    completed = {e.data["key"] for e in events
+                 if e.type == "cell.completed"}
+    quarantined = {e.data["key"] for e in events
+                   if e.type == "cell.quarantined"}
+    return started, dispatched, completed, quarantined
+
+
+class TestLifecycleCompleteness:
+    @pytest.mark.parametrize("backend,jobs", [
+        ("serial", 1), ("pool", 2), ("fileq", 2)])
+    def test_every_dispatched_cell_reaches_an_end_state(
+            self, tmp_path, backend, jobs):
+        log = tmp_path / "events.jsonl"
+        service = SweepService(
+            backend=backend, jobs=jobs,
+            queue_dir=str(tmp_path / "queue"), events_out=log)
+        out = service.run_grid(tiny_grid())
+        assert all(r is not None for r in out.results)
+
+        events = list(read_events(log))
+        started, dispatched, completed, quarantined = \
+            lifecycle(events)
+        assert len(started) == 1
+        assert started[0].data["missing"] == 4
+        assert started[0].data["backend"] == backend
+        assert len(dispatched) == 4
+        assert completed == dispatched
+        assert not quarantined
+        finished = [e for e in events if e.type == "sweep.finished"]
+        assert len(finished) == 1
+        assert finished[0].data["completed"] == 4
+        assert finished[0].data["failed"] == 0
+
+    def test_killed_worker_still_yields_complete_lifecycle(
+            self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        policy = SweepPolicy(retries=1,
+                             fault_plan="kill:bfs/radix/:1")
+        service = SweepService(backend="pool", jobs=2, policy=policy,
+                               events_out=log)
+        out = service.run_grid(tiny_grid())
+        assert all(r is not None for r in out.results)
+
+        events = list(read_events(log))
+        kinds = {e.type for e in events}
+        assert "worker.died" in kinds
+        assert "cell.retried" in kinds
+        failed = [e for e in events if e.type == "cell.failed"]
+        assert any(e.data["kind"] == "worker-died" for e in failed)
+        _, dispatched, completed, quarantined = lifecycle(events)
+        assert dispatched == completed
+        assert not quarantined
+
+    def test_quarantine_appears_in_the_event_log(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        policy = SweepPolicy(retries=1, strict=False,
+                             fault_plan="fail:bfs/ndpage/:*")
+        service = SweepService(backend="serial", policy=policy,
+                               events_out=log)
+        out = service.run_grid(tiny_grid())
+        assert sum(1 for r in out.results if r is None) == 1
+
+        events = list(read_events(log))
+        _, dispatched, completed, quarantined = lifecycle(events)
+        assert len(quarantined) == 1
+        assert dispatched == completed | quarantined
+        bad = [e for e in events if e.type == "cell.quarantined"]
+        assert bad[0].data["attempts"] == 2
+        assert "bfs/ndpage" in bad[0].data["label"]
+
+
+class TestDefaultOff:
+    def test_results_identical_with_and_without_telemetry(
+            self, tmp_path):
+        configs = tiny_grid()
+        plain = SweepService(backend="serial").run_grid(configs)
+        instrumented = SweepService(
+            backend="serial",
+            events_out=tmp_path / "events.jsonl").run_grid(configs)
+        assert [dataclasses.asdict(r) for r in plain.results] \
+            == [dataclasses.asdict(r) for r in instrumented.results]
+
+    def test_sink_restored_after_instrumented_sweep(self, tmp_path):
+        service = SweepService(backend="serial",
+                               events_out=tmp_path / "events.jsonl")
+        service.run_grid(tiny_grid())
+        assert get_sink() is None
+
+    def test_metrics_snapshot_rides_in_stats_either_way(self):
+        service = SweepService(backend="serial")
+        service.run_grid(tiny_grid())
+        metrics = service.last_stats.metrics
+        assert metrics["cells.dispatched"] == 4
+        assert metrics["cell.attempt_s"]["count"] == 4
+        assert metrics["cell.queue_wait_s"]["count"] == 4

@@ -1,0 +1,58 @@
+"""Tests for the counter/gauge/histogram registry."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    BUCKET_BOUNDS,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestHistogram:
+    def test_tracks_count_sum_min_max_mean(self):
+        histogram = Histogram()
+        for value in (0.1, 0.3, 0.2):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(0.6)
+        assert snap["min"] == pytest.approx(0.1)
+        assert snap["max"] == pytest.approx(0.3)
+        assert snap["mean"] == pytest.approx(0.2)
+
+    def test_empty_histogram_snapshot(self):
+        snap = Histogram().snapshot()
+        assert snap == {"count": 0, "sum": 0.0, "min": None,
+                        "max": None, "mean": 0.0}
+
+    def test_buckets_cover_overflow(self):
+        histogram = Histogram()
+        histogram.observe(10 * BUCKET_BOUNDS[-1])
+        assert histogram.buckets[-1] == 1
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_metric(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_type_clash_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(TypeError, match="already registered"):
+            registry.histogram("a")
+
+    def test_snapshot_is_sorted_and_json_safe(self):
+        registry = MetricsRegistry()
+        registry.counter("cells.dispatched").inc(3)
+        registry.gauge("workers.live").set(2)
+        registry.histogram("cell.attempt_s").observe(0.25)
+        snap = registry.snapshot()
+        assert list(snap) == sorted(snap)
+        assert snap["cells.dispatched"] == 3
+        assert snap["workers.live"] == 2
+        assert snap["cell.attempt_s"]["count"] == 1
+        json.dumps(snap)   # must be plain data

@@ -1,0 +1,135 @@
+"""Tests for the progress state machine and its ETA math, driven by
+synthetic event streams — no sweep, no terminal."""
+
+import io
+
+import pytest
+
+from repro.obs.events import Event
+from repro.obs.progress import (
+    ProgressState,
+    ProgressView,
+    format_duration,
+)
+
+
+def ev(type_, t_mono=0.0, **data):
+    return Event(type=type_, t_wall=1000.0 + t_mono, t_mono=t_mono,
+                 seq=1, pid=1, data=data)
+
+
+def started(unique=10, cached=4, t_mono=0.0):
+    return ev("sweep.started", t_mono=t_mono, cells=unique,
+              unique=unique, cached=cached, missing=unique - cached,
+              backend="pool", jobs=2)
+
+
+class TestFormatDuration:
+    def test_seconds(self):
+        assert format_duration(42.3) == "42s"
+
+    def test_minutes(self):
+        assert format_duration(90.5) == "1m30s"
+
+    def test_hours(self):
+        assert format_duration(7320) == "2h02m"
+
+    def test_negative_clamped(self):
+        assert format_duration(-5) == "0s"
+
+
+class TestStateFolding:
+    def test_sweep_started_seeds_totals(self):
+        state = ProgressState()
+        state.observe(started(unique=10, cached=4))
+        assert state.total == 10
+        assert state.done == 4
+        assert state.remaining == 6
+        assert state.cache_hit_rate == pytest.approx(0.4)
+
+    def test_completions_and_quarantines_advance_done(self):
+        state = ProgressState()
+        state.observe(started(unique=10, cached=4))
+        state.observe(ev("cell.completed", t_mono=1.0, key="a",
+                         label="a", attempt=1, wall=1.0))
+        state.observe(ev("cell.quarantined", t_mono=2.0, key="b",
+                         label="b", attempts=2, kind="error"))
+        assert state.done == 6
+        assert state.completed == 1
+        assert state.failed == 1
+
+    def test_workers_tracked_by_last_event(self):
+        state = ProgressState()
+        state.observe(ev("worker.spawned", worker="w1",
+                         backend="pool"))
+        state.observe(ev("worker.spawned", worker="w2",
+                         backend="pool"))
+        state.observe(ev("worker.died", worker="w2", reason="kill"))
+        assert state.workers["w1"] == "idle"
+        assert state.workers["w2"] == "dead"
+
+
+class TestEta:
+    def test_none_before_first_completion(self):
+        state = ProgressState()
+        state.observe(started())
+        assert state.eta_seconds(now_mono=5.0) is None
+
+    def test_extrapolates_from_completion_rate(self):
+        state = ProgressState()
+        state.observe(started(unique=10, cached=4, t_mono=0.0))
+        for i, key in enumerate(("a", "b")):
+            state.observe(ev("cell.completed", t_mono=10.0 * (i + 1),
+                             key=key, label=key, attempt=1, wall=1.0))
+        # 2 cells in 20 s -> 0.1 cells/s; 4 remaining -> 40 s.
+        assert state.eta_seconds(now_mono=20.0) \
+            == pytest.approx(40.0)
+
+    def test_cached_cells_do_not_inflate_the_rate(self):
+        # 9 of 10 served by cache, 1 simulated in 10 s: the last
+        # 0 remaining gives ETA 0 -- but with another one pending the
+        # rate must come from the single simulated cell only.
+        state = ProgressState()
+        state.observe(started(unique=10, cached=8, t_mono=0.0))
+        state.observe(ev("cell.completed", t_mono=10.0, key="a",
+                         label="a", attempt=1, wall=10.0))
+        assert state.eta_seconds(now_mono=10.0) \
+            == pytest.approx(10.0)
+
+
+class TestRender:
+    def test_render_mentions_counts_and_eta(self):
+        state = ProgressState()
+        state.observe(started(unique=10, cached=4, t_mono=0.0))
+        state.observe(ev("cell.completed", t_mono=10.0, key="a",
+                         label="a", attempt=1, wall=1.0))
+        state.observe(ev("cell.retried", t_mono=11.0, key="b",
+                         label="b", attempt=1, delay=0.25))
+        line = state.render(now_mono=10.0)
+        assert "5/10 cells" in line
+        assert "4 cached (40%)" in line
+        assert "1 retries" in line
+        assert "ETA" in line
+
+    def test_render_done_when_finished(self):
+        state = ProgressState()
+        state.observe(started(unique=2, cached=2))
+        state.observe(ev("sweep.finished", t_mono=1.0, cells=2,
+                         completed=0, failed=0, retries=0, wall=1.0))
+        assert "done" in state.render(now_mono=1.0)
+
+
+class TestView:
+    def test_non_tty_prints_line_per_progress_step(self):
+        stream = io.StringIO()
+        view = ProgressView(stream=stream, interval=0.0)
+        view.emit(started(unique=2, cached=0))
+        view.emit(ev("cell.completed", t_mono=1.0, key="a",
+                     label="a", attempt=1, wall=1.0))
+        view.emit(ev("cell.completed", t_mono=2.0, key="b",
+                     label="b", attempt=1, wall=1.0))
+        view.close()
+        lines = [line for line in stream.getvalue().splitlines()
+                 if line]
+        assert any("2/2 cells" in line for line in lines)
+        assert "\r" not in stream.getvalue()

@@ -292,3 +292,148 @@ class TestFaultToleranceSurface:
         assert main(argv) == 0
         out = capsys.readouterr().out
         assert "quarantined" in out
+
+
+class TestObservabilityCommands:
+    """The telemetry surface: --events-out/--progress on sweeps, the
+    trace/status/cache/diag subcommands, and worker logging."""
+
+    SWEEP = ["sweep", "--workloads", "rnd", "--mechanisms", "radix",
+             "ndpage", "--cores", "1", "--refs", "300",
+             "--scale", str(1 / 64)]
+
+    def test_events_and_progress_default_off(self):
+        for argv in (["sweep"], ["figure", "fig12"]):
+            args = build_parser().parse_args(argv)
+            assert args.events_out is None
+            assert args.progress is False
+
+    def test_sweep_writes_event_log(self, capsys, tmp_path):
+        from repro.obs.events import read_events
+
+        log = tmp_path / "events.jsonl"
+        assert main(self.SWEEP + ["--events-out", str(log)]) == 0
+        capsys.readouterr()
+        types = [e.type for e in read_events(log)]
+        assert types[0] == "sweep.started"
+        assert types[-1] == "sweep.finished"
+        assert types.count("cell.dispatched") == 2
+        assert types.count("cell.completed") == 2
+
+    def test_progress_writes_status_line_to_stderr(self, capsys):
+        assert main(self.SWEEP + ["--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "2/2 cells" in err
+
+    def test_trace_export(self, capsys, tmp_path):
+        import json
+
+        log = tmp_path / "events.jsonl"
+        assert main(self.SWEEP + ["--events-out", str(log)]) == 0
+        capsys.readouterr()
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", str(log),
+                     "--out", str(out_path)]) == 0
+        assert "2 cell(s)" in capsys.readouterr().out
+        trace = json.loads(out_path.read_text())
+        assert trace["traceEvents"]
+        assert {e["ph"] for e in trace["traceEvents"]} >= {"X", "M"}
+
+    def test_trace_default_output_path(self, capsys, tmp_path):
+        log = tmp_path / "events.jsonl"
+        assert main(self.SWEEP + ["--events-out", str(log)]) == 0
+        capsys.readouterr()
+        assert main(["trace", str(log)]) == 0
+        assert (tmp_path / "events.trace.json").exists()
+
+    def test_status_reports_missing_queue(self, capsys, tmp_path):
+        assert main(["status",
+                     "--queue", str(tmp_path / "nope")]) == 1
+        assert "no queue directory" in capsys.readouterr().out
+
+    def test_status_flags_stale_workers_read_only(self, capsys,
+                                                  tmp_path):
+        import os
+        import time
+
+        from repro.sim.backends.fileq import QueueLayout
+
+        layout = QueueLayout(tmp_path / "queue")
+        layout.ensure()
+        (layout.todo / "aa.a1.json").write_text("{}")
+        layout.heartbeat("live-1").touch()
+        (layout.claims / "live-1").mkdir()
+        dead_hb = layout.heartbeat("dead-1")
+        dead_hb.touch()
+        os.utime(dead_hb, (time.time() - 600, time.time() - 600))
+        (layout.claims / "dead-1").mkdir()
+        stale_claim = layout.claims / "dead-1" / "bb.a1.json"
+        stale_claim.write_text("{}")
+
+        assert main(["status", "--queue", str(layout.root),
+                     "--stale-after", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "1 todo item(s)" in out
+        assert "live-1" in out and "live" in out
+        assert "dead-1" in out and "STALE" in out
+        assert "1 claim(s) held by stale workers" in out
+        # Introspection never moves anything.
+        assert stale_claim.exists()
+        assert (layout.todo / "aa.a1.json").exists()
+
+    def test_cache_verify_and_gc(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        assert main(self.SWEEP
+                    + ["--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+
+        assert main(["cache", "verify",
+                     "--cache-dir", str(cache_dir)]) == 0
+        assert "2 entries: 2 ok" in capsys.readouterr().out
+
+        victim = sorted(cache_dir.glob("*.json"))[0]
+        victim.write_text("not json at all")
+        assert main(["cache", "verify",
+                     "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "1 corrupt (quarantined)" in out
+        assert "1 in quarantine" in out
+
+        assert main(["cache", "gc",
+                     "--cache-dir", str(cache_dir)]) == 0
+        assert "1 quarantined" in capsys.readouterr().out
+        assert not list((cache_dir / "quarantine").glob("*"))
+
+    def test_diag_prints_mechanism_rows(self, capsys):
+        assert main(["diag", "--cores", "1", "--refs", "300",
+                     "--workloads", "rnd",
+                     "--mechanisms", "radix", "ndpage"]) == 0
+        out = capsys.readouterr().out
+        assert "radix" in out and "ndpage" in out
+        assert "sp=" in out and "ptw=" in out and "tf=" in out
+
+    def test_diag_rejects_unknown_mechanism(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["diag", "--mechanisms", "magic"])
+
+    def test_worker_logs_and_event_file(self, capsys, tmp_path):
+        from repro.obs.events import read_events
+
+        log = tmp_path / "worker-events.jsonl"
+        assert main(["worker", "--queue", str(tmp_path / "queue"),
+                     "--max-idle", "0.05", "--poll-interval", "0.01",
+                     "--events-out", str(log)]) == 0
+        captured = capsys.readouterr()
+        assert "online" in captured.err
+        assert "idle timeout" in captured.err
+        types = [e.type for e in read_events(log)]
+        assert "worker.spawned" in types
+        assert "worker.died" in types
+
+    def test_worker_quiet_suppresses_log_lines(self, capsys,
+                                               tmp_path):
+        assert main(["worker", "--queue", str(tmp_path / "queue"),
+                     "--max-idle", "0.05", "--poll-interval", "0.01",
+                     "--quiet"]) == 0
+        assert capsys.readouterr().err == ""
