@@ -41,7 +41,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.obs.events import emit
 from repro.sim.config import SystemConfig
-from repro.sim.faults import cell_label, maybe_corrupt_entry
+from repro.sim.faults import cell_label, guarded_io, maybe_corrupt_entry
 from repro.sim.runner import RunResult
 
 #: Code-relevant version of the simulation.  Bump whenever a change
@@ -253,9 +253,26 @@ class ResultCache:
         # only ever consulted leaves no empty directory behind.
         start = time.perf_counter()
         self.root.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(entry) + "\n")
-        os.replace(tmp, path)
+        text = json.dumps(entry) + "\n"
+        label = cell_label(config)
+
+        def write() -> None:
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            try:
+                tmp.write_text(text)
+                os.replace(tmp, path)
+            except BaseException:
+                # Never leave a half-written tmp file behind for
+                # verify/gc to sweep — and never amplify ENOSPC by
+                # stranding orphans on an already-full disk.
+                tmp.unlink(missing_ok=True)
+                raise
+
+        # Transient I/O faults (and any injected ioerr/enospc/stall
+        # clause matching ``cache/<label>``) retry with bounded
+        # backoff; a persistent failure propagates and the sweep
+        # supervisor degrades it to a cache hole + manifest entry.
+        guarded_io(write, "cache", label, self.fault_plan)
         self.stats.stores += 1
         emit("cache.store", key=path.stem,
              wall=round(time.perf_counter() - start, 6))

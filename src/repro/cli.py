@@ -31,13 +31,20 @@ Observability: every sweep command takes ``--events-out PATH``
 ``repro trace`` turns an event log into a Chrome trace, ``repro
 status`` inspects a fileq queue directory, and ``repro cache
 verify|gc`` audits the result cache.
+
+Resilience: SIGTERM/SIGINT drain sweeps and workers gracefully
+(in-flight work is requeued and the exit is clean); ``--resume``
+continues a killed sweep from its journal with retry budgets intact;
+``repro queue repair`` fscks a queue directory after unclean deaths.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
+import threading
 import time
 from pathlib import Path
 
@@ -48,6 +55,7 @@ from repro.core.mechanisms import MECHANISMS, PAPER_MECHANISMS
 from repro.service import (
     BACKEND_NAMES,
     SweepFailure,
+    SweepInterrupted,
     SweepPolicy,
     SweepService,
 )
@@ -125,6 +133,14 @@ def _add_sweep_opts(parser):
     parser.add_argument("--cache-dir", default=None,
                         help="directory for the on-disk result cache; "
                              "makes the sweep resumable")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume from the journal a previous "
+                             "(killed or drained) run of this exact "
+                             "sweep left beside the cache: completed "
+                             "cells come from the cache, attempt "
+                             "counts / backoff clocks / quarantine "
+                             "decisions from the journal (requires "
+                             "--cache-dir)")
     parser.add_argument("--retries", type=int, default=1,
                         help="re-dispatches granted to a failing cell "
                              "before quarantine (default 1)")
@@ -152,16 +168,22 @@ def _add_sweep_opts(parser):
 
 
 def _service_from(args) -> SweepService:
+    if getattr(args, "resume", False) and args.cache_dir is None:
+        raise SystemExit(
+            "repro: --resume requires --cache-dir (the journal lives "
+            "beside the cache, and completed cells come from it)")
     cache = (ResultCache(args.cache_dir)
              if args.cache_dir is not None else None)
     policy = SweepPolicy(retries=args.retries,
                          cell_timeout=args.cell_timeout,
                          strict=not args.keep_going)
     return SweepService(backend=args.backend, jobs=args.jobs,
-                        cache=cache, policy=policy,
+                        cache=cache, cache_dir=args.cache_dir,
+                        policy=policy,
                         queue_dir=args.queue_dir,
                         events_out=args.events_out,
-                        progress=args.progress)
+                        progress=args.progress,
+                        resume=getattr(args, "resume", False))
 
 
 def _finish_sweep(args, service) -> int:
@@ -218,10 +240,22 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def _report_interrupt(args, exc: SweepInterrupted) -> int:
+    """Shared SIGTERM/SIGINT epilogue: the sweep drained cleanly."""
+    print(f"\nrepro: {exc}", file=sys.stderr)
+    if args.cache_dir is not None:
+        print("repro: completed cells are cached; rerun with "
+              "--resume to continue with retry budgets intact",
+              file=sys.stderr)
+    return 130
+
+
 def cmd_figure(args) -> int:
     service = _service_from(args)
     try:
         _render_figure(args, service)
+    except SweepInterrupted as exc:
+        return _report_interrupt(args, exc)
     except SweepFailure:
         # Strict (no --keep-going): every healthy cell completed and
         # was cached, but the figure is withheld — all-or-nothing.
@@ -320,6 +354,8 @@ def cmd_sweep(args) -> int:
     service = _service_from(args)
     try:
         results = service.run(configs)
+    except SweepInterrupted as exc:
+        return _report_interrupt(args, exc)
     except SweepFailure:
         _finish_sweep(args, service)
         return 1
@@ -338,18 +374,42 @@ def cmd_sweep(args) -> int:
 
 def cmd_worker(args) -> int:
     """Standalone fileq worker: claim and simulate cells from a shared
-    queue directory until idle for --max-idle seconds (or forever)."""
+    queue directory until idle for --max-idle seconds (or forever).
+
+    SIGTERM/SIGINT drain gracefully: the first signal lets the
+    in-flight cell finish, then unfinished claims go back to todo/,
+    the heartbeat file and claim dir are removed, and the worker
+    exits 0.  A second signal abandons the in-flight cell promptly
+    (the claim is still returned and the exit is still clean)."""
     from repro.sim.backends.fileq import worker_loop
-    summary = worker_loop(args.queue,
-                          poll_interval=args.poll_interval,
-                          heartbeat_interval=args.heartbeat_interval,
-                          stale_after=args.stale_after,
-                          max_idle=args.max_idle,
-                          events_out=args.events_out,
-                          log_stream=(None if args.quiet
-                                      else sys.stderr))
+    stop = threading.Event()
+
+    def _drain(signum, frame):
+        if stop.is_set():
+            # Second signal: abandon the in-flight cell.  worker_loop's
+            # cleanup still returns the claim and removes the
+            # heartbeat on the way out.
+            raise SystemExit(0)
+        stop.set()
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, _drain)
+    try:
+        summary = worker_loop(
+            args.queue,
+            poll_interval=args.poll_interval,
+            heartbeat_interval=args.heartbeat_interval,
+            stale_after=args.stale_after,
+            max_idle=args.max_idle,
+            stop_event=stop,
+            events_out=args.events_out,
+            log_stream=(None if args.quiet else sys.stderr))
+    except SystemExit:
+        print("worker drained (in-flight cell abandoned)")
+        return 0
     print(f"worker {summary['worker']}: "
-          f"{summary['cells']} cell(s) executed")
+          f"{summary['cells']} cell(s) executed"
+          + (" (drained)" if stop.is_set() else ""))
     return 0
 
 
@@ -415,6 +475,25 @@ def cmd_status(args) -> int:
         print(f"warning: {stale_claims} claim(s) held by stale "
               f"workers — a running sweep (or an idle worker) will "
               f"reclaim them")
+    return 0
+
+
+def cmd_queue(args) -> int:
+    """Queue-directory maintenance.  ``repair`` is the offline fsck:
+    it removes orphaned tmp files, returns dead workers' claims to
+    todo/, deletes ghost claim dirs and stale heartbeat files, and
+    drops duplicate todo items (keeping the highest attempt).  Live
+    workers (fresh heartbeats) are never touched.  After a clean
+    drain the report is all zeros."""
+    from repro.sim.backends.fileq import repair_queue
+    report = repair_queue(args.queue, stale_after=args.stale_after,
+                          apply=not args.dry_run)
+    verb = "found" if args.dry_run else "repaired"
+    total = sum(report.values())
+    for kind, count in sorted(report.items()):
+        if count:
+            print(f"  {kind.replace('_', ' ')}: {count}")
+    print(f"queue {args.queue}: {total} issue(s) {verb}")
     return 0
 
 
@@ -571,6 +650,25 @@ def build_parser() -> argparse.ArgumentParser:
                           help="heartbeat age that flags a worker as "
                                "stale")
     status_p.set_defaults(func=cmd_status)
+
+    queue_p = sub.add_parser(
+        "queue", help="maintain a fileq queue directory")
+    queue_p.add_argument("action", choices=("repair",),
+                         help="repair: fsck the queue — remove tmp "
+                              "orphans, requeue dead workers' "
+                              "claims, drop ghost claim dirs / stale "
+                              "heartbeats / duplicate todo items")
+    queue_p.add_argument("--queue", required=True, metavar="DIR",
+                         help="the sweep's --queue-dir")
+    queue_p.add_argument("--stale-after", type=float, default=5.0,
+                         metavar="SECONDS",
+                         help="heartbeat age beyond which a worker "
+                              "counts as dead (its claims are "
+                              "requeued)")
+    queue_p.add_argument("--dry-run", action="store_true",
+                         help="report what would be repaired without "
+                              "touching anything")
+    queue_p.set_defaults(func=cmd_queue)
 
     cache_p = sub.add_parser(
         "cache", help="audit or clean an on-disk result cache")

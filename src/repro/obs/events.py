@@ -65,9 +65,12 @@ EVENT_TYPES: Dict[str, tuple] = {
     "cell.retried": ("key", "label", "attempt", "delay"),
     "cell.timeout": ("key", "label", "attempt"),
     "cell.quarantined": ("key", "label", "attempts", "kind"),
+    # sweep interruption (graceful SIGTERM/SIGINT drain)
+    "sweep.interrupted": ("completed", "pending", "requeued"),
     # worker lifecycle (pool and fileq backends)
     "worker.spawned": ("worker", "backend"),
     "worker.died": ("worker", "reason"),
+    "worker.drained": ("worker", "returned"),
     "worker.heartbeat": ("worker", "executed"),
     "worker.claim": ("worker", "key", "attempt"),
     "worker.executed": ("worker", "key", "attempt", "ok", "wall"),
@@ -161,16 +164,48 @@ class JsonlSink(EventSink):
     exactly one ``os.write`` of a complete line, so multiple writers
     on the same file — the supervisor and its forked local workers, or
     several processes handed the same path — interleave whole records.
+
+    Telemetry must never take the sweep down with it: a failing write
+    (ENOSPC, a yanked filesystem, an injected ``ioerr``) drops that
+    event instead of raising.  Drops are counted (``dropped``; summed
+    into the sweep's metrics snapshot as ``events.dropped``) and the
+    first one prints a single stderr warning.
     """
 
-    def __init__(self, path: Union[str, Path]):
+    def __init__(self, path: Union[str, Path], fault_plan=None):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fd = os.open(
             self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        self.dropped = 0
+        self._warned = False
+        # Injection seam (imported lazily: repro.sim pulls this module
+        # in at package import time).  Resolved once here so the
+        # per-event path stays two attribute loads when no plan is
+        # active.
+        self._plan = fault_plan
+        self._io_fault = None
+        if fault_plan is not None or os.environ.get(
+                "REPRO_FAULT_PLAN"):
+            from repro.sim.faults import FaultPlan, maybe_io_fault
+            if self._plan is None:
+                self._plan = FaultPlan.from_env()
+            self._io_fault = maybe_io_fault
 
     def emit(self, event: Event) -> None:
-        os.write(self._fd, (event.to_json() + "\n").encode("utf-8"))
+        line = (event.to_json() + "\n").encode("utf-8")
+        try:
+            if self._io_fault is not None:
+                self._io_fault("events", event.type, self._plan)
+            os.write(self._fd, line)
+        except OSError as exc:
+            self.dropped += 1
+            if not self._warned:
+                self._warned = True
+                import sys
+                print(f"repro: warning: event sink {self.path}: "
+                      f"write failed ({exc}); dropping events "
+                      f"(counted, not fatal)", file=sys.stderr)
 
     def close(self) -> None:
         if self._fd is not None:
@@ -229,6 +264,23 @@ def session(sink: EventSink):
     finally:
         set_sink(previous)
         sink.close()
+
+
+def dropped_events(sink: Optional[EventSink] = None) -> int:
+    """Events dropped by ``sink`` (default: the installed sink tree).
+
+    Recurses through :class:`MultiSink` compositions and sums the
+    ``dropped`` counters of any sink that keeps one (today
+    :class:`JsonlSink`); the sweep supervisor folds this into the
+    metrics snapshot as the ``events.dropped`` counter.
+    """
+    if sink is None:
+        sink = _sink
+    if sink is None:
+        return 0
+    if isinstance(sink, MultiSink):
+        return sum(dropped_events(inner) for inner in sink.sinks)
+    return int(getattr(sink, "dropped", 0))
 
 
 def emit(type_: str, **data) -> Optional[Event]:

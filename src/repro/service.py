@@ -34,6 +34,7 @@ backend-agnostic supervisor in :mod:`repro.sim.sweep`.
 from __future__ import annotations
 
 import contextlib
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.obs.events import JsonlSink, session
@@ -44,6 +45,7 @@ from repro.sim.runner import RunResult
 from repro.sim.sweep import (
     FailureManifest,
     SweepFailure,
+    SweepInterrupted,
     SweepPolicy,
     SweepStats,
     execute_sweep,
@@ -54,6 +56,7 @@ __all__ = [
     "BackendSpec",
     "CellHandle",
     "SweepFailure",
+    "SweepInterrupted",
     "SweepPolicy",
     "SweepResult",
     "SweepService",
@@ -155,6 +158,16 @@ class SweepService:
     progress:
         Stream a live progress line to ``progress_stream`` (stderr
         by default) while sweeps execute.
+    journal_dir:
+        Directory for the crash-resume journals (see
+        :mod:`repro.sim.journal`).  Defaults to ``journal/`` inside
+        ``cache_dir`` when one is given; pass explicitly to journal a
+        cache-less sweep, or ``False`` to disable journalling.
+    resume:
+        Resume from the journal a killed supervisor left behind:
+        per-cell attempt counts, backoff clocks, and quarantine
+        decisions carry over (completed cells come from the cache
+        as always).
     """
 
     def __init__(self, backend: Union[str, BackendSpec] = "auto",
@@ -164,10 +177,16 @@ class SweepService:
                  heartbeat_interval: Optional[float] = None,
                  stale_after: Optional[float] = None,
                  events_out=None, progress: bool = False,
-                 progress_stream=None):
+                 progress_stream=None, journal_dir=None,
+                 resume: bool = False):
         if cache is None and cache_dir is not None:
             from repro.analysis.cache import ResultCache
             cache = ResultCache(cache_dir)
+        if journal_dir is None and cache_dir is not None:
+            from repro.sim.journal import JOURNAL_DIR
+            journal_dir = Path(cache_dir) / JOURNAL_DIR
+        self.journal_dir = journal_dir or None
+        self.resume = resume
         if isinstance(backend, BackendSpec):
             spec = backend
         else:
@@ -272,7 +291,9 @@ class SweepService:
             results, stats = execute_sweep(configs, spec=self.spec,
                                            policy=policy,
                                            cache=self.cache,
-                                           run_fn=run_fn)
+                                           run_fn=run_fn,
+                                           journal_dir=self.journal_dir,
+                                           resume=self.resume)
         self.last_stats = stats
         return results, stats
 

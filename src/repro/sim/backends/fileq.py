@@ -31,6 +31,19 @@ Protocol:
   supervisor retries or quarantines it.  Idle workers also steal
   stale claims back into ``todo/`` so skewed grids rebalance even
   between supervisor polls; rename arbitrates the race.
+* **Fencing.**  Before publishing, a worker re-validates that it
+  still owns its claim file.  A SIGSTOP'd or NFS-stalled worker whose
+  claim was stolen (its heartbeat went stale) abandons the finished
+  cell instead of racing the claim's new owner — the simulator is
+  deterministic, so nothing is lost.
+* **Drain.**  On a stop request (SIGTERM/SIGINT to ``repro worker``,
+  or the supervisor closing the backend) a worker finishes — or, on a
+  second signal, abandons — its in-flight cell, returns unfinished
+  claims to ``todo/``, deletes its heartbeat file and claim dir, and
+  exits 0, emitting ``worker.drained``.  ``repair_queue`` (CLI:
+  ``repro queue repair``) sweeps up what *unclean* deaths leave
+  behind: tmp orphans, ghost claim dirs, stale heartbeats, duplicate
+  todo items.
 
 The supervisor can spawn local worker processes (``workers=N``),
 drive external ``repro worker`` processes (``workers=0``), or mix
@@ -56,7 +69,7 @@ from typing import Dict, List, Optional, Union
 from repro.obs.events import JsonlSink, emit, session
 from repro.sim.backends.base import Attempt, Outcome, SweepBackend
 from repro.sim.config import SystemConfig
-from repro.sim.faults import FaultPlan, apply_cell_faults
+from repro.sim.faults import FaultPlan, apply_cell_faults, guarded_io
 from repro.sim.runner import run_once
 
 HEARTBEAT_INTERVAL = 1.0   # seconds between heartbeat touches
@@ -93,10 +106,29 @@ def item_name(key: str, attempt: int) -> str:
     return f"{digest}.a{attempt}.json"
 
 
-def _atomic_write(path: Path, payload: dict) -> None:
-    tmp = path.parent / f"{path.name}.tmp{os.getpid()}"
-    tmp.write_text(json.dumps(payload))
-    os.replace(tmp, path)
+def _atomic_write(path: Path, payload: dict,
+                  plan: Optional[FaultPlan] = None) -> None:
+    """Write one queue file atomically, hardened for shared storage.
+
+    The tmp file is unlinked when the write or the rename raises, so
+    a faulting writer cannot strew ``*.tmp<pid>`` orphans around the
+    queue; transient ``OSError``\\ s (and any injected ``ioerr`` /
+    ``enospc`` / ``stall`` clause matching ``queue/<name>``) are
+    retried with bounded backoff, persistent ones propagate for the
+    caller to degrade on.
+    """
+    text = json.dumps(payload)
+
+    def write() -> None:
+        tmp = path.parent / f"{path.name}.tmp{os.getpid()}"
+        try:
+            tmp.write_text(text)
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+
+    guarded_io(write, "queue", path.name, plan)
 
 
 def _read_json(path: Path) -> Optional[dict]:
@@ -240,6 +272,11 @@ def worker_loop(queue_dir: Union[str, Path],
                          executed=executed)
                     last_beat = now
                 claim = _claim_next(layout, my_claims)
+                if (claim is not None and stop_event is not None
+                        and stop_event.is_set()):
+                    # Drain request raced the claim: the finally
+                    # block returns it to todo/ untouched.
+                    break
                 if claim is None:
                     stolen = _steal_stale_claims(
                         layout, worker_id, stale_after)
@@ -277,9 +314,31 @@ def worker_loop(queue_dir: Union[str, Path],
                     outcome["ok"] = False
                     outcome["error"] = traceback.format_exc()
                 wall = round(time.perf_counter() - started, 6)
-                _atomic_write(
-                    layout.results / item_name(key, attempt),
-                    outcome)
+                if not claim.exists():
+                    # Fencing: the claim was stolen (our heartbeat
+                    # went stale — SIGSTOP, NFS stall) and another
+                    # worker owns this attempt now.  Publishing would
+                    # race the new owner, so abandon the result; the
+                    # simulator is deterministic, nothing is lost.
+                    log(f"claim {label or key[:16]} attempt "
+                        f"{attempt} was stolen; abandoning result")
+                    idle_since = time.monotonic()
+                    continue
+                try:
+                    _atomic_write(
+                        layout.results / item_name(key, attempt),
+                        outcome, plan)
+                except OSError as exc:
+                    # Persistent publish failure: hand the item back
+                    # instead of dying with the result in hand.
+                    log(f"publish failed for {label or key[:16]} "
+                        f"attempt {attempt} ({exc}); returning claim")
+                    try:
+                        os.replace(claim, layout.todo / claim.name)
+                    except OSError:
+                        pass   # stale-claim reclaim will recover it
+                    idle_since = time.monotonic()
+                    continue
                 claim.unlink(missing_ok=True)
                 executed += 1
                 idle_since = time.monotonic()
@@ -291,11 +350,27 @@ def worker_loop(queue_dir: Union[str, Path],
                     f"({wall:.3f}s)")
         finally:
             heartbeat.stop()
+            # Orderly exit (drain, idle timeout, even an in-loop
+            # crash): any claim still held goes back to todo/ so no
+            # other worker has to wait out the staleness window, and
+            # the heartbeat + claim dir disappear so the worker
+            # leaves no ghost STALE entry in `repro status`.
+            returned = 0
+            for path in sorted(my_claims.glob("*.json")):
+                try:
+                    os.replace(path, layout.todo / path.name)
+                except OSError:
+                    continue
+                returned += 1
             heartbeat_path.unlink(missing_ok=True)
             try:
                 my_claims.rmdir()   # only if empty: crashes persist
             except OSError:
                 pass
+            if stop_event is not None and stop_event.is_set():
+                emit("worker.drained", worker=worker_id,
+                     returned=returned)
+                log(f"drained; returned {returned} claim(s)")
             log(f"offline after {executed} cell(s)")
             if events_out:
                 emit("worker.died", worker=worker_id,
@@ -330,7 +405,10 @@ class FileQueueBackend(SweepBackend):
         self.poll_interval = poll_interval
         self._run_fn = None
         self._plan_text: Optional[str] = None
+        self._plan: Optional[FaultPlan] = None
         self._local: Dict[str, multiprocessing.Process] = {}
+        self._stop_local = None
+        self._pending: List[Outcome] = []
         self._dead_ids: set = set()
         self._reported_stale: set = set()
         self._spawned = 0
@@ -349,6 +427,9 @@ class FileQueueBackend(SweepBackend):
             _ensure_picklable(run_fn)
         self._run_fn = run_fn
         self._plan_text = plan_text
+        self._plan = (FaultPlan.parse(plan_text) if plan_text
+                      else None)
+        self._stop_local = multiprocessing.Event()
         self.layout.ensure()
         # Purge strays from a previous (crashed) supervisor: todo
         # items nobody will collect and results nobody expects.  Live
@@ -370,13 +451,25 @@ class FileQueueBackend(SweepBackend):
                         plan_text=self._plan_text,
                         poll_interval=self.poll_interval,
                         heartbeat_interval=self.heartbeat_interval,
-                        stale_after=self.stale_after),
+                        stale_after=self.stale_after,
+                        stop_event=self._stop_local),
             daemon=True)
         process.start()
         self._local[worker_id] = process
         emit("worker.spawned", worker=worker_id, backend=self.name)
 
     def close(self) -> None:
+        # Graceful first: local workers watch the stop event and exit
+        # through their drain path (claims returned, heartbeat and
+        # claim dir removed), so a completed sweep leaves a pristine
+        # queue.  Escalate to SIGTERM/SIGKILL only for workers stuck
+        # mid-cell (hangs, chaos plans).
+        if self._stop_local is not None:
+            self._stop_local.set()
+        deadline = time.monotonic() + 2.0
+        for process in self._local.values():
+            process.join(
+                timeout=max(0.05, deadline - time.monotonic()))
         for process in self._local.values():
             if process.is_alive():
                 process.terminate()
@@ -393,17 +486,29 @@ class FileQueueBackend(SweepBackend):
         return None   # queue everything; workers pull
 
     def dispatch(self, attempt: Attempt) -> bool:
-        _atomic_write(
-            self.layout.todo / item_name(attempt.key, attempt.attempt),
-            {"key": attempt.key, "attempt": attempt.attempt,
-             "label": attempt.label, "config": attempt.data})
+        try:
+            _atomic_write(
+                self.layout.todo
+                / item_name(attempt.key, attempt.attempt),
+                {"key": attempt.key, "attempt": attempt.attempt,
+                 "label": attempt.label, "config": attempt.data},
+                self._plan)
+        except OSError as exc:
+            # Persistent queue-write failure: surface it as a normal
+            # failed attempt so the supervisor's retry/quarantine
+            # budget applies (hole + manifest entry, not a crash).
+            self._pending.append(Outcome(
+                key=attempt.key, attempt=attempt.attempt,
+                status="error",
+                error=f"queue dispatch failed: {exc}"))
         return True
 
     def poll(self, timeout: Optional[float]) -> List[Outcome]:
         deadline = (time.monotonic() + timeout
                     if timeout is not None else None)
         while True:
-            outcomes: List[Outcome] = []
+            outcomes: List[Outcome] = self._pending
+            self._pending = []
             self._drain_results(outcomes)
             self._respawn_local()
             self._reclaim_stale(outcomes)
@@ -500,3 +605,104 @@ class FileQueueBackend(SweepBackend):
             emit("worker.died", worker=worker_id,
                  reason=f"exit code {process.exitcode}")
             self._spawn_local()
+
+
+# -- offline maintenance ------------------------------------------------------
+
+def repair_queue(queue_dir: Union[str, Path],
+                 stale_after: float = STALE_AFTER,
+                 apply: bool = True) -> Dict[str, int]:
+    """Fsck a queue directory: find (and with ``apply``, fix) the
+    debris that crashed workers and killed supervisors leave behind.
+
+    Four categories, returned as a count per key:
+
+    * ``tmp_orphans`` — ``*.tmp<pid>`` files from writers that died
+      mid-``_atomic_write`` (removed);
+    * ``stale_heartbeats`` — heartbeat files whose worker has been
+      silent longer than ``stale_after`` (removed; any claims it
+      held are requeued first, and fencing protects against the
+      worker turning out to be merely stalled);
+    * ``ghost_claim_dirs`` — claim dirs of dead workers (their items
+      are returned to ``todo/``, counted as ``requeued_claims``, and
+      the empty dir is removed);
+    * ``duplicate_items`` — multiple attempts of the same cell in
+      ``todo/`` (all but the highest attempt removed).
+
+    Workers with a fresh heartbeat are never touched, so running a
+    repair against a live queue is safe — it only races the same
+    recovery the sweep's own reclaim logic performs.  A clean drain
+    leaves nothing for it to find: every count zero.
+    """
+    layout = QueueLayout(queue_dir)
+    report = {"tmp_orphans": 0, "stale_heartbeats": 0,
+              "ghost_claim_dirs": 0, "requeued_claims": 0,
+              "duplicate_items": 0}
+    if not layout.root.is_dir():
+        return report
+    now = time.time()
+
+    live = set()
+    if layout.workers.is_dir():
+        for heartbeat in layout.workers.glob("*.hb"):
+            try:
+                age = now - heartbeat.stat().st_mtime
+            except OSError:
+                continue
+            if age < stale_after:
+                live.add(heartbeat.stem)
+
+    for path in sorted(layout.root.rglob("*.tmp*")):
+        report["tmp_orphans"] += 1
+        if apply:
+            path.unlink(missing_ok=True)
+
+    if layout.claims.is_dir():
+        for owner in sorted(p for p in layout.claims.iterdir()
+                            if p.is_dir()):
+            if owner.name in live:
+                continue
+            items = sorted(owner.glob("*.json"))
+            report["ghost_claim_dirs"] += 1
+            report["requeued_claims"] += len(items)
+            if not apply:
+                continue
+            for item in items:
+                try:
+                    os.replace(item, layout.todo / item.name)
+                except OSError:
+                    report["requeued_claims"] -= 1
+            try:
+                owner.rmdir()
+            except OSError:
+                report["ghost_claim_dirs"] -= 1
+
+    if layout.workers.is_dir():
+        for heartbeat in sorted(layout.workers.glob("*.hb")):
+            if heartbeat.stem in live:
+                continue
+            report["stale_heartbeats"] += 1
+            if apply:
+                heartbeat.unlink(missing_ok=True)
+
+    if layout.todo.is_dir():
+        by_cell: Dict[str, List[Path]] = {}
+        for item in layout.todo.glob("*.json"):
+            digest = item.name.split(".a")[0]
+            by_cell.setdefault(digest, []).append(item)
+        for paths in by_cell.values():
+            if len(paths) < 2:
+                continue
+
+            def attempt_of(path: Path) -> int:
+                try:
+                    return int(path.stem.rsplit(".a", 1)[1])
+                except (IndexError, ValueError):
+                    return -1
+
+            paths.sort(key=attempt_of)
+            for stale in paths[:-1]:
+                report["duplicate_items"] += 1
+                if apply:
+                    stale.unlink(missing_ok=True)
+    return report

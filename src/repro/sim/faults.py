@@ -21,6 +21,9 @@ the ``fault_plan=`` argument to ``SweepRunner`` — with one
     hang:xs/radix/:1:30        sleep 30 s on attempt 1
     kill:rnd/radix/:1          SIGKILL the worker on attempt 1
     corrupt:bfs/radix/         corrupt the cache entry once, at store
+    ioerr:cache/:1             EIO on the first matching cache write
+    enospc:queue/:*            ENOSPC on every matching queue write
+    stall:events/:1:0.2        delay the first matching sink write
 
 ``fail``/``hang``/``kill`` fire in the process about to simulate the
 cell (:func:`apply_cell_faults`, called by the sweep worker entry
@@ -28,23 +31,39 @@ point and the serial path); ``corrupt`` fires in whichever process
 stores the entry (:func:`maybe_corrupt_entry`, called by
 ``ResultCache.store``) and at most once per (clause, cell) per process
 so a repaired entry stays repaired.
+
+The I/O actions (``ioerr``/``enospc``/``stall``) fire at *write
+sites* instead of cells: every hardened writer calls
+:func:`maybe_io_fault` (usually via :func:`guarded_io`, which adds
+the bounded-backoff retry contract) with a ``site/detail`` target
+such as ``cache/<cell label>``, ``queue/<item name>``, or
+``events/<event type>``.  The clause's attempt list selects the
+n-th matching write at that target (per process), so
+``enospc:cache/:1`` is a transient fault a retry absorbs while
+``enospc:cache/:*`` is a persistent one the caller must degrade on.
 """
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import signal
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Sequence, Set, Tuple, Union
+from typing import Callable, Dict, Optional, Sequence, Set, Tuple, Union
 
 #: Environment variable holding the active plan text ('' / unset: none).
 FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
 
 #: Recognised fault actions.
-ACTIONS = ("fail", "hang", "kill", "corrupt")
+ACTIONS = ("fail", "hang", "kill", "corrupt", "ioerr", "enospc",
+           "stall")
+
+#: The subset injected at filesystem-write sites (see
+#: :func:`maybe_io_fault`).
+IO_ACTIONS = ("ioerr", "enospc", "stall")
 
 
 class InjectedFault(RuntimeError):
@@ -84,7 +103,7 @@ class FaultSpec:
         parts = [self.action, self.match,
                  "*" if self.attempts is None
                  else ",".join(str(a) for a in self.attempts)]
-        if self.action == "hang":
+        if self.action in ("hang", "stall"):
             parts.append(str(self.seconds))
         return ":".join(parts)
 
@@ -115,7 +134,11 @@ class FaultPlan:
             attempts = None
             if len(parts) > 2 and parts[2] not in ("", "*"):
                 attempts = tuple(int(p) for p in parts[2].split(","))
-            seconds = float(parts[3]) if len(parts) > 3 else 60.0
+            # A `hang` must outlast a cell timeout; a `stall` only
+            # needs to be observable, so its default stays small.
+            default_seconds = 0.05 if parts[0] == "stall" else 60.0
+            seconds = (float(parts[3]) if len(parts) > 3
+                       else default_seconds)
             specs.append(FaultSpec(parts[0], parts[1], attempts,
                                    seconds))
         return cls(specs)
@@ -218,6 +241,72 @@ def maybe_corrupt_entry(path, label: str,
     return True
 
 
+# -- I/O fault injection ------------------------------------------------------
+
+#: Per-(clause, target) count of write opportunities seen in this
+#: process; an I/O clause's attempt list indexes into this sequence.
+_IO_COUNTS: Dict[Tuple[str, str, str], int] = {}
+
+
+def maybe_io_fault(site: str, detail: str = "",
+                   plan: Optional[FaultPlan] = None) -> None:
+    """Fire any ``ioerr``/``enospc``/``stall`` clause for this write.
+
+    ``site`` names the writer class (``"cache"``, ``"queue"``,
+    ``"events"``, ``"journal"``); ``detail`` its per-write identity
+    (cell label, item name, event type).  Clauses match the combined
+    ``site/detail`` target by substring, and their attempt list picks
+    the n-th matching write at that target — so transient
+    (``:1``-style) and persistent (``:*``) faults are both
+    expressible.  ``plan`` defaults to the environment plan.
+    """
+    if plan is None:
+        plan = FaultPlan.from_env()
+    if not plan:
+        return
+    target = f"{site}/{detail}"
+    spec = plan.find(IO_ACTIONS, target)
+    if spec is None:
+        return
+    token = (spec.action, spec.match, target)
+    count = _IO_COUNTS.get(token, 0) + 1
+    _IO_COUNTS[token] = count
+    if not spec.applies(target, count):
+        return
+    if spec.action == "stall":
+        time.sleep(spec.seconds)
+        return
+    code = errno.ENOSPC if spec.action == "enospc" else errno.EIO
+    raise OSError(code, f"injected {spec.action} at {target} "
+                        f"(write {count})")
+
+
+def guarded_io(fn: Callable[[], object], site: str, detail: str = "",
+               plan: Optional[FaultPlan] = None, retries: int = 2,
+               backoff: float = 0.02,
+               sleep: Callable[[float], None] = time.sleep):
+    """Run the I/O action ``fn`` under injection and bounded retry.
+
+    Before each try, any matching I/O clause fires
+    (:func:`maybe_io_fault`); an ``OSError`` — injected or real — is
+    retried up to ``retries`` times with exponential backoff, and the
+    final failure propagates for the caller to degrade on.  This is
+    the shared hardening contract of the cache, queue, and journal
+    writers: transient faults are absorbed here, persistent ones
+    become a hole instead of a crash at the call site.
+    """
+    for attempt in range(retries + 1):
+        try:
+            maybe_io_fault(site, detail, plan)
+            return fn()
+        except OSError:
+            if attempt >= retries:
+                raise
+            sleep(backoff * (2 ** attempt))
+
+
 def reset_fired() -> None:
-    """Forget which one-shot clauses fired (test isolation)."""
+    """Forget which one-shot clauses fired and the per-site write
+    counts (test isolation)."""
     _FIRED.clear()
+    _IO_COUNTS.clear()

@@ -1,0 +1,182 @@
+"""Crash-resumable supervision state: the per-sweep journal.
+
+The result cache makes a sweep's *completed* cells durable, but until
+now everything else the supervisor knew — how many attempts each cell
+has burned, which backoff clocks are running, which cells were
+quarantined — lived only in the supervisor's memory and died with it.
+A supervisor SIGKILLed mid-sweep therefore restarted every counter:
+cells one failure away from quarantine got a fresh retry budget, and
+already-quarantined cells were retried from scratch.
+
+The :class:`SweepJournal` closes that gap.  It is a JSONL file beside
+the result cache (one per sweep identity — a digest of the sweep's
+unique cell keys, so re-running the same grid finds the same journal)
+appended through a single ``os.write`` on an ``O_APPEND`` descriptor,
+the same torn-write-free idiom as
+:class:`~repro.obs.events.JsonlSink`.  The supervisor records every
+dispatch, terminal outcome, retry (with its wall-clock backoff gate),
+and quarantine; :func:`load_journal` folds the records back into a
+:class:`JournalState` that ``--resume`` feeds to the supervisor:
+
+* ``attempts`` — per cell, the dispatches already *charged* (those
+  with a recorded failure outcome).  A dispatch that never reported —
+  the one in flight when the supervisor died — is not charged; resume
+  re-dispatches it under the same attempt number.
+* ``not_before`` — wall-clock backoff gates of cells that were in
+  their retry delay, so resume does not stampede a flapping cell.
+* ``quarantined`` — cells already given up on, re-quarantined on
+  resume without burning new attempts.
+* ``completed`` — cells with an ``ok`` outcome (informational; the
+  cache is the source of truth for their results).
+
+Journal writes are hardened like every other writer in the resilience
+layer: transient ``OSError``\\ s retry with bounded backoff
+(:func:`~repro.sim.faults.guarded_io`, site ``journal``), persistent
+ones degrade to a counted drop — a lost journal line can cost a
+redundant re-attempt after a crash, never the sweep.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Set, Union
+
+from repro.sim.faults import FaultPlan, guarded_io
+
+#: On-disk record-format version, stamped on every line.
+JOURNAL_VERSION = 1
+
+#: Subdirectory (beside the cache entries) the journals live in.
+JOURNAL_DIR = "journal"
+
+
+def sweep_digest(keys: Sequence[str]) -> str:
+    """Stable identity of a sweep: digest of its sorted unique keys.
+
+    Order-independent, so the same grid — however its cells were
+    enumerated — resumes from the same journal.
+    """
+    text = "\n".join(sorted(keys))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+def journal_path(root: Union[str, Path],
+                 keys: Sequence[str]) -> Path:
+    return Path(root) / f"sweep-{sweep_digest(keys)}.journal.jsonl"
+
+
+class SweepJournal:
+    """Append-only dispatch/outcome log for one sweep.
+
+    ``resume=False`` (a fresh run of this grid) truncates any journal
+    a previous run left behind; ``resume=True`` appends to it, so the
+    combined file still replays in order.
+    """
+
+    def __init__(self, path: Union[str, Path], resume: bool = False,
+                 fault_plan: Optional[FaultPlan] = None):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.dropped = 0
+        self._plan = fault_plan
+        flags = os.O_WRONLY | os.O_CREAT | os.O_APPEND
+        if not resume:
+            flags |= os.O_TRUNC
+        self._fd: Optional[int] = os.open(self.path, flags, 0o644)
+
+    def record(self, kind: str, **data) -> None:
+        """Append one record; never raises (see module docstring)."""
+        if self._fd is None:
+            return
+        record = {"v": JOURNAL_VERSION, "kind": kind,
+                  "t": time.time()}
+        record.update(data)
+        line = (json.dumps(record, sort_keys=True) + "\n").encode(
+            "utf-8")
+        try:
+            guarded_io(lambda: os.write(self._fd, line),
+                       "journal", kind, self._plan)
+        except OSError:
+            self.dropped += 1
+
+    def close(self) -> None:
+        if self._fd is not None:
+            try:
+                os.close(self._fd)
+            except OSError:
+                pass
+            self._fd = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+@dataclass
+class JournalState:
+    """What a journal says about a sweep that did not finish."""
+
+    attempts: Dict[str, int] = field(default_factory=dict)
+    not_before: Dict[str, float] = field(default_factory=dict)
+    quarantined: Dict[str, Dict[str, object]] = field(
+        default_factory=dict)
+    completed: Set[str] = field(default_factory=set)
+    interrupted: bool = False
+    records: int = 0
+
+    def __bool__(self) -> bool:
+        return self.records > 0
+
+
+def load_journal(path: Union[str, Path]) -> JournalState:
+    """Fold a journal back into resumable supervisor state.
+
+    Tolerates a torn final line (the crash may have been mid-append
+    on a filesystem without atomic O_APPEND semantics) and unknown
+    record kinds (forward compatibility).
+    """
+    state = JournalState()
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError:
+        return state
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue   # torn tail — ignore and keep what replayed
+        kind = record.get("kind")
+        key = record.get("key")
+        state.records += 1
+        if kind == "outcome" and key:
+            if record.get("status") == "ok":
+                state.completed.add(key)
+                state.not_before.pop(key, None)
+            else:
+                attempt = int(record.get("attempt", 0))
+                if attempt > state.attempts.get(key, 0):
+                    state.attempts[key] = attempt
+        elif kind == "retry" and key:
+            state.not_before[key] = float(
+                record.get("not_before", 0.0))
+        elif kind == "quarantine" and key:
+            state.quarantined[key] = {
+                "label": record.get("label", ""),
+                "attempts": int(record.get("attempts", 0)),
+                "fail_kind": record.get("fail_kind", "error"),
+                "error": record.get("error", ""),
+            }
+            state.not_before.pop(key, None)
+        elif kind == "interrupted":
+            state.interrupted = True
+    return state

@@ -62,6 +62,8 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import signal
+import threading
 import time
 import warnings
 from collections import deque
@@ -77,11 +79,17 @@ from typing import (
     Union,
 )
 
-from repro.obs.events import emit
+from repro.obs.events import dropped_events, emit
 from repro.obs.metrics import MetricsRegistry
 from repro.sim.backends.base import Attempt, BackendSpec, SweepBackend
 from repro.sim.config import SystemConfig, cpu_config, ndp_config
 from repro.sim.faults import FaultPlan, cell_label
+from repro.sim.journal import (
+    JournalState,
+    SweepJournal,
+    journal_path,
+    load_journal,
+)
 from repro.sim.runner import RunResult, run_once
 
 
@@ -190,6 +198,25 @@ class SweepFailure(RuntimeError):
     def __init__(self, manifest: FailureManifest):
         super().__init__(manifest.format())
         self.manifest = manifest
+
+
+class SweepInterrupted(KeyboardInterrupt):
+    """Graceful drain: the supervisor caught SIGTERM/SIGINT, cancelled
+    the backend's in-flight work, journalled the interruption, and
+    unwound.  Every completed cell is already in the cache and the
+    journal (if enabled) preserves retry budgets and backoff clocks —
+    re-running the same command with ``--resume`` continues where the
+    sweep stopped.  Subclasses :class:`KeyboardInterrupt` so generic
+    ``except Exception`` recovery code does not swallow a drain.
+    """
+
+    def __init__(self, completed: int, pending: int, requeued: int):
+        super().__init__(
+            f"sweep interrupted: {completed} cell(s) completed, "
+            f"{requeued} in flight requeued, {pending} still pending")
+        self.completed = completed
+        self.pending = pending
+        self.requeued = requeued
 
 
 @dataclass
@@ -312,12 +339,21 @@ def execute_sweep(configs: Sequence[SystemConfig],
                   policy: Optional[SweepPolicy] = None,
                   cache=None,
                   run_fn: Optional[Callable] = None,
+                  journal_dir=None,
+                  resume: bool = False,
                   ) -> Tuple[List[Optional[RunResult]], SweepStats]:
     """Run every config through the selected backend; never raises on
     quarantine (callers apply ``policy.strict`` to the returned stats).
 
     Returns ``(results-in-input-order, stats)``; quarantined cells
     yield ``None`` slots and appear in ``stats.manifest``.
+
+    ``journal_dir`` enables the crash-resume journal (one JSONL file
+    per sweep identity under that directory — see
+    :mod:`repro.sim.journal`); with ``resume=True`` a journal left by
+    a killed supervisor restores per-cell attempt counts, backoff
+    clocks, and quarantine decisions, while the cache restores the
+    completed cells.
     """
     spec = spec or BackendSpec()
     policy = policy or SweepPolicy()
@@ -348,12 +384,35 @@ def execute_sweep(configs: Sequence[SystemConfig],
          cached=stats.cache_hits, missing=len(missing),
          backend=spec.name, jobs=spec.jobs)
 
-    if missing:
-        backend = spec.resolve(len(missing), policy.cell_timeout)
-        registry = MetricsRegistry()
-        _execute_missing(backend, missing, results, run_fn, stats,
-                         policy, cache, registry)
-        stats.metrics = registry.snapshot()
+    journal: Optional[SweepJournal] = None
+    resume_state: Optional[JournalState] = None
+    if journal_dir is not None:
+        path = journal_path(journal_dir, list(unique))
+        if resume:
+            resume_state = load_journal(path)
+            if not resume_state:
+                resume_state = None
+        journal = SweepJournal(path, resume=resume,
+                               fault_plan=policy.active_plan())
+        journal.record("start", cells=len(configs),
+                       unique=len(unique), cached=stats.cache_hits,
+                       missing=len(missing), backend=spec.name,
+                       resumed=resume_state is not None)
+
+    try:
+        if missing:
+            backend = spec.resolve(len(missing), policy.cell_timeout)
+            registry = MetricsRegistry()
+            _execute_missing(backend, missing, results, run_fn, stats,
+                             policy, cache, registry, journal,
+                             resume_state)
+            dropped = dropped_events()
+            if dropped:
+                registry.counter("events.dropped").inc(dropped)
+            stats.metrics = registry.snapshot()
+    finally:
+        if journal is not None:
+            journal.close()
 
     stats.failed = len(stats.manifest)
     stats.references = sum(
@@ -369,7 +428,9 @@ def execute_sweep(configs: Sequence[SystemConfig],
 def _execute_missing(backend: SweepBackend, missing, results, run_fn,
                      stats: SweepStats, policy: SweepPolicy,
                      cache,
-                     registry: Optional[MetricsRegistry] = None
+                     registry: Optional[MetricsRegistry] = None,
+                     journal: Optional[SweepJournal] = None,
+                     resume_state: Optional[JournalState] = None
                      ) -> None:
     """The supervisor loop: dispatch cells into the backend, collect
     outcomes, and apply the retry/backoff/timeout/quarantine contract
@@ -383,6 +444,13 @@ def _execute_missing(backend: SweepBackend, missing, results, run_fn,
     every backend — including attempts whose executor vanished without
     reporting anything.  ``registry`` collects the timing breakdown
     (queue wait, attempt wall, cache-store time).
+
+    Resilience duties (all optional): every dispatch/outcome is also
+    appended to ``journal``; ``resume_state`` (a previous run's
+    journal) restores attempt counts, backoff gates, and quarantine
+    decisions; and SIGTERM/SIGINT (main thread only) triggers a
+    graceful drain — cancel in-flight attempts, journal the
+    interruption, raise :class:`SweepInterrupted`.
     """
     plan = policy.active_plan()
     plan_text = plan.to_text() if plan is not None else None
@@ -393,23 +461,70 @@ def _execute_missing(backend: SweepBackend, missing, results, run_fn,
     attempt_wall = registry.histogram("cell.attempt_s")
     store_wall = registry.histogram("cache.store_s")
     dispatched = registry.counter("cells.dispatched")
+
+    def journal_record(kind: str, **data) -> None:
+        if journal is not None:
+            journal.record(kind, **data)
+
     start_mono = time.monotonic()
-    ready: deque = deque(
-        _CellWork(pos, key, config)
-        for pos, (key, config) in enumerate(missing))
-    for cell in ready:
+    start_wall = time.time()
+    works: List[_CellWork] = []
+    for pos, (key, config) in enumerate(missing):
+        cell = _CellWork(pos, key, config)
         cell.ready_since = start_mono
-    waiting: List[_CellWork] = []     # cells in backoff delay
+        if resume_state is not None:
+            info = resume_state.quarantined.get(key)
+            if info is not None:
+                # Quarantine decisions survive the supervisor: the
+                # previous run gave up on this cell, so this one does
+                # not silently grant it a fresh retry budget.
+                registry.counter("cells.quarantined").inc()
+                emit("cell.quarantined", key=key,
+                     label=info["label"] or cell.label,
+                     attempts=info["attempts"],
+                     kind=info["fail_kind"])
+                stats.manifest.failures.append(CellFailure(
+                    key=key, label=info["label"] or cell.label,
+                    attempts=int(info["attempts"]),
+                    kind=str(info["fail_kind"]),
+                    error=str(info["error"])
+                    or "quarantined by a previous run (journal)"))
+                stats.simulated -= 1
+                continue
+            cell.attempt = resume_state.attempts.get(key, 0)
+            gate = resume_state.not_before.get(key, 0.0)
+            if gate > start_wall:
+                cell.not_before = start_mono + (gate - start_wall)
+                cell.ready_since = cell.not_before
+        works.append(cell)
+    ready: deque = deque(c for c in works
+                         if c.not_before <= start_mono)
+    waiting: List[_CellWork] = [c for c in works
+                                if c.not_before > start_mono]
     inflight: Dict[str, _CellWork] = {}
-    outstanding = len(missing)
+    outstanding = len(works)
 
     def settle_ok(cell: _CellWork, result, now: float) -> None:
         wall = now - cell.dispatched_at
         attempt_wall.observe(wall)
         results[cell.key] = result
+        journal_record("outcome", key=cell.key,
+                       attempt=cell.attempt, status="ok")
         if cache is not None:
             store_start = time.perf_counter()
-            cache.store(cell.config, result, key=cell.key)
+            try:
+                cache.store(cell.config, result, key=cell.key)
+            except OSError as exc:
+                # Persistent store failure (ENOSPC, dead disk):
+                # degrade to a cache hole plus a manifest entry — the
+                # in-memory result is still served, this run
+                # completes, the next one re-simulates the cell.
+                registry.counter("cache.store_errors").inc()
+                stats.manifest.failures.append(CellFailure(
+                    key=cell.key, label=cell.label,
+                    attempts=cell.attempt, kind="cache-io",
+                    error=(f"result computed but cache store "
+                           f"failed: {exc}")))
             store_wall.observe(time.perf_counter() - store_start)
         emit("cell.completed", key=cell.key, label=cell.label,
              attempt=cell.attempt, wall=round(wall, 6))
@@ -419,10 +534,16 @@ def _execute_missing(backend: SweepBackend, missing, results, run_fn,
         """Retry or quarantine a failed attempt; returns settled."""
         emit("cell.failed", key=cell.key, label=cell.label,
              attempt=cell.attempt, kind=kind)
+        journal_record("outcome", key=cell.key,
+                       attempt=cell.attempt, status=kind)
         if cell.attempt >= policy.retries + 1:
             registry.counter("cells.quarantined").inc()
             emit("cell.quarantined", key=cell.key, label=cell.label,
                  attempts=cell.attempt, kind=kind)
+            journal_record("quarantine", key=cell.key,
+                           label=cell.label, attempts=cell.attempt,
+                           fail_kind=kind,
+                           error=error.strip()[-500:])
             stats.manifest.failures.append(CellFailure(
                 key=cell.key, label=cell.label,
                 attempts=cell.attempt, kind=kind, error=error))
@@ -432,12 +553,43 @@ def _execute_missing(backend: SweepBackend, missing, results, run_fn,
         cell.ready_since = cell.not_before
         emit("cell.retried", key=cell.key, label=cell.label,
              attempt=cell.attempt, delay=round(delay, 6))
+        journal_record("retry", key=cell.key, attempt=cell.attempt,
+                       not_before=time.time() + delay)
         waiting.append(cell)
         return 0
+
+    # Graceful drain: note SIGTERM/SIGINT and unwind at the next loop
+    # boundary instead of dying wherever the signal lands.  Handlers
+    # are process-global state, so only the main thread installs them.
+    interrupts: List[int] = []
+    previous_handlers: Dict[int, object] = {}
+    if threading.current_thread() is threading.main_thread():
+        def _note_signal(signum, frame):
+            interrupts.append(signum)
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                previous_handlers[signum] = signal.signal(
+                    signum, _note_signal)
+            except (ValueError, OSError):   # pragma: no cover
+                pass
+
+    def drain() -> SweepInterrupted:
+        for key, cell in list(inflight.items()):
+            backend.cancel(key, cell.attempt)
+        completed = sum(1 for key, _ in missing if key in results)
+        pending = len(ready) + len(waiting)
+        journal_record("interrupted", requeued=len(inflight),
+                       completed=completed, pending=pending)
+        emit("sweep.interrupted", completed=completed,
+             pending=pending, requeued=len(inflight))
+        return SweepInterrupted(completed=completed, pending=pending,
+                                requeued=len(inflight))
 
     backend.open(run_fn, plan_text, len(missing))
     try:
         while outstanding:
+            if interrupts:
+                raise drain()
             now = time.monotonic()
             if waiting:
                 due = [c for c in waiting if c.not_before <= now]
@@ -473,20 +625,30 @@ def _execute_missing(backend: SweepBackend, missing, results, run_fn,
                 dispatched.inc()
                 emit("cell.dispatched", key=cell.key,
                      label=cell.label, attempt=cell.attempt)
+                journal_record("dispatch", key=cell.key,
+                               label=cell.label,
+                               attempt=cell.attempt)
                 inflight[cell.key] = cell
 
             if not inflight:
-                # Everything is backoff-delayed; sleep it off.
+                # Everything is backoff-delayed; sleep it off (in
+                # slices, so a drain signal is noticed promptly).
                 delay = min((c.not_before for c in waiting),
                             default=now) - now
                 if delay > 0:
-                    time.sleep(delay)
+                    time.sleep(min(delay, 0.5)
+                               if previous_handlers else delay)
                 continue
 
             sleeps = [c.deadline - now for c in inflight.values()
                       if c.deadline is not None]
             sleeps += [c.not_before - now for c in waiting]
             wait_for = max(0.0, min(sleeps)) if sleeps else None
+            if previous_handlers:
+                # Bound the poll so a noted signal drains promptly
+                # even when every in-flight cell is long-running.
+                wait_for = (0.5 if wait_for is None
+                            else min(wait_for, 0.5))
             outcomes = backend.poll(wait_for)
             now = time.monotonic()
 
@@ -528,6 +690,11 @@ def _execute_missing(backend: SweepBackend, missing, results, run_fn,
                     outstanding -= failed(cell, "timeout", error, now)
     finally:
         backend.close()
+        for signum, handler in previous_handlers.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError, TypeError):  # pragma: no cover
+                pass
 
 
 # -- legacy runner (deprecated shim) ------------------------------------------

@@ -11,6 +11,7 @@ from repro.obs.events import (
     JsonlSink,
     MemorySink,
     MultiSink,
+    dropped_events,
     emit,
     get_sink,
     read_events,
@@ -133,3 +134,66 @@ class TestSession:
         event = emit("cache.hit", key="k")
         assert first.events == [event]
         assert second.events == [event]
+
+
+class TestDroppedEvents:
+    """Telemetry must never take the sweep down: failing sink writes
+    are dropped, counted, and surfaced — not raised."""
+
+    def _failing_sink(self, tmp_path):
+        from repro.sim.faults import FaultPlan
+        return JsonlSink(tmp_path / "events.jsonl",
+                         fault_plan=FaultPlan.parse("ioerr:events/:*"))
+
+    def test_failing_writes_are_counted_not_raised(self, tmp_path,
+                                                   capsys):
+        from repro.sim.faults import reset_fired
+        reset_fired()
+        sink = self._failing_sink(tmp_path)
+        with session(sink):
+            emit("cache.hit", key="k1")
+            emit("cache.hit", key="k2")
+            assert dropped_events() == 2
+        assert sink.dropped == 2
+        assert (tmp_path / "events.jsonl").read_text() == ""
+        # Exactly one warning, on the first drop.
+        stderr = capsys.readouterr().err
+        assert stderr.count("dropping events") == 1
+        reset_fired()
+
+    def test_selective_fault_drops_only_matching_events(
+            self, tmp_path):
+        from repro.sim.faults import FaultPlan, reset_fired
+        reset_fired()
+        sink = JsonlSink(
+            tmp_path / "events.jsonl",
+            fault_plan=FaultPlan.parse("ioerr:events/cache.hit:*"))
+        with session(sink):
+            emit("cache.hit", key="k")
+            emit("cache.store", key="k", wall=0.1)
+        assert sink.dropped == 1
+        assert [e.type for e in read_events(tmp_path / "events.jsonl")] \
+            == ["cache.store"]
+        reset_fired()
+
+    def test_dropped_events_recurses_multisink(self, tmp_path):
+        from repro.sim.faults import reset_fired
+        reset_fired()
+        failing = self._failing_sink(tmp_path)
+        healthy = MemorySink()
+        set_sink(MultiSink([healthy, failing]))
+        emit("cache.hit", key="k")
+        assert dropped_events() == 1
+        assert len(healthy.events) == 1   # other sinks still receive
+        reset_fired()
+
+    def test_no_sink_reports_zero(self):
+        assert dropped_events() == 0
+        assert dropped_events(MemorySink()) == 0
+
+    def test_healthy_sink_counts_nothing(self, tmp_path):
+        sink = JsonlSink(tmp_path / "events.jsonl")
+        with session(sink):
+            emit("cache.hit", key="k")
+        assert sink.dropped == 0
+        assert dropped_events(sink) == 0

@@ -12,6 +12,8 @@ work-stealing.
 
 import dataclasses
 import json
+import os
+import threading
 import time
 
 import pytest
@@ -28,6 +30,7 @@ from repro.sim.backends.fileq import (
     _atomic_write,
     _steal_stale_claims,
     item_name,
+    repair_queue,
     worker_loop,
 )
 from repro.sim.faults import FAULT_PLAN_ENV, cell_label, reset_fired
@@ -344,3 +347,166 @@ class TestFileqRecovery:
         failure = stats.manifest.failures[0]
         assert failure.kind == "timeout"
         assert "cell_timeout" in failure.error
+
+
+class TestFileqResilience:
+    """Fencing, drain, and I/O hardening of the queue machinery."""
+
+    def _prefill(self, queue, config, attempt=1):
+        layout = QueueLayout(queue)
+        layout.ensure()
+        key = config.canonical_json()
+        _atomic_write(
+            layout.todo / item_name(key, attempt),
+            {"key": key, "attempt": attempt,
+             "label": cell_label(config), "config": config.to_dict()})
+        return layout, key
+
+    def test_stolen_claim_is_never_published(self, tmp_path):
+        """Fencing: a worker whose claim vanished mid-cell (stolen
+        after its heartbeat went stale) abandons the result instead of
+        racing the new owner."""
+        config = tiny_grid()[0]
+        layout, key = self._prefill(tmp_path / "q", config)
+        claim = layout.claims / "w1" / item_name(key, 1)
+        stop = threading.Event()
+
+        def thief_wins(cfg):
+            os.replace(claim, tmp_path / "stolen.json")   # the steal
+            stop.set()
+            return run_once(cfg)
+
+        summary = worker_loop(tmp_path / "q", worker_id="w1",
+                              run_fn=thief_wins, poll_interval=0.01,
+                              stop_event=stop)
+        assert summary["cells"] == 0
+        assert not list(layout.results.glob("*.json"))
+        # Clean exit: no heartbeat, no claim dir left behind.
+        assert not layout.heartbeat("w1").exists()
+        assert not (layout.claims / "w1").exists()
+
+    def test_persistent_publish_failure_returns_claim(self, tmp_path):
+        """A worker that cannot write its result hands the item back
+        to todo/ instead of dying with the result in hand."""
+        config = tiny_grid()[0]
+        layout, key = self._prefill(tmp_path / "q", config)
+        stop = threading.Event()
+
+        def once(cfg):
+            stop.set()
+            return run_once(cfg)
+
+        summary = worker_loop(
+            tmp_path / "q", worker_id="w1", run_fn=once,
+            plan_text=f"ioerr:{item_name(key, 1)}:*",
+            poll_interval=0.01, stop_event=stop)
+        assert summary["cells"] == 0
+        assert not list(layout.results.glob("*.json"))
+        assert (layout.todo / item_name(key, 1)).exists()
+
+    def test_atomic_write_cleans_tmp_on_failure(self, tmp_path):
+        dest = tmp_path / "taken.json"
+        dest.mkdir()    # os.replace onto a directory raises
+        with pytest.raises(OSError):
+            _atomic_write(dest, {"x": 1})
+        assert not list(tmp_path.glob("*.tmp*"))
+
+    def test_persistent_dispatch_failure_becomes_error_outcome(
+            self, tmp_path):
+        """A supervisor that cannot write to the queue degrades to a
+        synthetic failed attempt — the normal retry/quarantine budget
+        applies instead of a crash."""
+        backend = FileQueueBackend(tmp_path / "q", workers=0)
+        backend.open(None, "enospc:queue/:*", 1)
+        try:
+            assert backend.dispatch(Attempt(
+                pos=0, key="k1", data={}, label="cell", attempt=1))
+            outcomes = backend.poll(timeout=0.2)
+        finally:
+            backend.close()
+        assert len(outcomes) == 1
+        assert outcomes[0].status == "error"
+        assert "queue dispatch failed" in outcomes[0].error
+        assert not list((tmp_path / "q" / "todo").glob("*"))
+
+    def test_transient_queue_fault_absorbed(self, tmp_path):
+        """One flaky write per process (``:1``) is retried inside
+        guarded_io; the sweep completes bit-identically."""
+        configs = tiny_grid()
+        reference = SweepService(backend="serial").run(configs)
+        service = SweepService(
+            backend="fileq", jobs=2, queue_dir=tmp_path / "q",
+            policy=SweepPolicy(strict=False,
+                               fault_plan="ioerr:queue/:1"),
+            **FAST_Q)
+        results = service.run(configs)
+        assert not service.last_stats.manifest
+        assert [fields(r) for r in results] \
+            == [fields(r) for r in reference]
+
+    def test_clean_sweep_leaves_pristine_queue(self, tmp_path):
+        """Local workers drain through the stop event on close(), so a
+        fault-free fileq sweep leaves nothing for repair to find."""
+        configs = tiny_grid()
+        service = SweepService(backend="fileq", jobs=2,
+                               queue_dir=tmp_path / "q", **FAST_Q)
+        assert all(r is not None for r in service.run(configs))
+        layout = QueueLayout(tmp_path / "q")
+        assert not list(layout.workers.glob("*.hb"))
+        assert not list(layout.claims.iterdir())
+        report = repair_queue(tmp_path / "q")
+        assert sum(report.values()) == 0, report
+
+
+class TestRepairQueue:
+    def test_missing_queue_reports_zero(self, tmp_path):
+        assert sum(repair_queue(tmp_path / "absent").values()) == 0
+
+    def test_clean_queue_reports_zero(self, tmp_path):
+        layout = QueueLayout(tmp_path / "q")
+        layout.ensure()
+        assert sum(repair_queue(tmp_path / "q").values()) == 0
+
+    def test_finds_and_fixes_all_debris_kinds(self, tmp_path):
+        layout = QueueLayout(tmp_path / "q")
+        layout.ensure()
+        # A writer died mid-_atomic_write.
+        (layout.todo / "torn.json.tmp123").write_text("{")
+        # A dead worker left a claim and a stale heartbeat.
+        ghost = layout.claims / "ghost"
+        ghost.mkdir()
+        _atomic_write(ghost / item_name("k1", 2),
+                      {"key": "k1", "attempt": 2})
+        hb = layout.heartbeat("ghost")
+        hb.touch()
+        os.utime(hb, (1.0, 1.0))
+        # A killed supervisor left two attempts of the same cell.
+        _atomic_write(layout.todo / item_name("k2", 1), {"key": "k2"})
+        _atomic_write(layout.todo / item_name("k2", 3), {"key": "k2"})
+        # A live worker holds a claim: must not be touched.
+        live = layout.claims / "alive"
+        live.mkdir()
+        _atomic_write(live / item_name("k3", 1), {"key": "k3"})
+        layout.heartbeat("alive").touch()
+
+        dry = repair_queue(tmp_path / "q", apply=False)
+        assert dry == {"tmp_orphans": 1, "stale_heartbeats": 1,
+                       "ghost_claim_dirs": 1, "requeued_claims": 1,
+                       "duplicate_items": 1}
+        # Dry run changed nothing.
+        assert (ghost / item_name("k1", 2)).exists()
+        assert (layout.todo / "torn.json.tmp123").exists()
+
+        assert repair_queue(tmp_path / "q", apply=True) == dry
+        assert not list(layout.root.rglob("*.tmp*"))
+        assert (layout.todo / item_name("k1", 2)).exists()
+        assert not ghost.exists()
+        assert not hb.exists()
+        # Duplicates: only the highest attempt survives.
+        assert (layout.todo / item_name("k2", 3)).exists()
+        assert not (layout.todo / item_name("k2", 1)).exists()
+        # The live worker was spared entirely.
+        assert (live / item_name("k3", 1)).exists()
+        assert layout.heartbeat("alive").exists()
+        # Second pass: nothing left to find.
+        assert sum(repair_queue(tmp_path / "q").values()) == 0

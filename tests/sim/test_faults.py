@@ -8,11 +8,18 @@ completes every healthy cell bit-identically to a fault-free run.
 """
 
 import dataclasses
+import errno
 import json
+import os
+import signal
+import threading
+import time
+from pathlib import Path
 
 import pytest
 
 from repro.analysis.cache import ResultCache
+from repro.service import SweepPolicy, SweepService
 from repro.sim.faults import (
     FAULT_PLAN_ENV,
     FaultPlan,
@@ -21,12 +28,21 @@ from repro.sim.faults import (
     apply_cell_faults,
     cell_label,
     corrupt_entry,
+    guarded_io,
     maybe_corrupt_entry,
+    maybe_io_fault,
     reset_fired,
+)
+from repro.sim.journal import (
+    SweepJournal,
+    journal_path,
+    load_journal,
+    sweep_digest,
 )
 from repro.sim.runner import run_once
 from repro.sim.sweep import (
     SweepFailure,
+    SweepInterrupted,
     SweepRunner,
     expand_grid,
 )
@@ -377,3 +393,336 @@ class TestAcceptance20Cells:
         assert third.last_stats.simulated == 0
         for config, result in zip(configs, final):
             assert fields(result) == fields(run_once(config))
+
+
+class TestIOFaultParsing:
+    def test_parse_io_clauses(self):
+        plan = FaultPlan.parse(
+            "ioerr:cache/:1;enospc:queue/:*;stall:events/:1:0.2")
+        assert [s.action for s in plan.specs] == \
+            ["ioerr", "enospc", "stall"]
+        assert plan.specs[0].attempts == (1,)
+        assert plan.specs[1].attempts is None
+        assert plan.specs[2].seconds == 0.2
+
+    def test_stall_default_duration_is_small(self):
+        # A stall only needs to be observable (unlike a hang, which
+        # must outlast a cell timeout).
+        assert FaultPlan.parse("stall:x/:*").specs[0].seconds == 0.05
+
+    def test_io_clauses_round_trip(self):
+        text = "ioerr:cache/:1,2;enospc:queue/:*;stall:events/:1:0.25"
+        plan = FaultPlan.parse(text)
+        assert FaultPlan.parse(plan.to_text()).to_text() \
+            == plan.to_text()
+
+
+class TestMaybeIoFault:
+    def test_nth_matching_write_fires(self):
+        plan = FaultPlan.parse("ioerr:cache/:2")
+        maybe_io_fault("cache", "bfs", plan)          # write 1: clean
+        with pytest.raises(OSError) as excinfo:
+            maybe_io_fault("cache", "bfs", plan)      # write 2: EIO
+        assert excinfo.value.errno == errno.EIO
+        maybe_io_fault("cache", "bfs", plan)          # write 3: clean
+
+    def test_enospc_errno(self):
+        plan = FaultPlan.parse("enospc:queue/:*")
+        with pytest.raises(OSError) as excinfo:
+            maybe_io_fault("queue", "item.json", plan)
+        assert excinfo.value.errno == errno.ENOSPC
+
+    def test_site_detail_matching(self):
+        plan = FaultPlan.parse("ioerr:cache/bfs:*")
+        maybe_io_fault("queue", "bfs", plan)    # wrong site: no fault
+        maybe_io_fault("cache", "rnd", plan)    # wrong detail: no fault
+        with pytest.raises(OSError):
+            maybe_io_fault("cache", "bfs/radix", plan)
+
+    def test_stall_sleeps_and_returns(self):
+        plan = FaultPlan.parse("stall:events/:*:0.01")
+        start = time.perf_counter()
+        maybe_io_fault("events", "cell.completed", plan)
+        assert time.perf_counter() - start >= 0.005
+
+    def test_no_plan_is_a_no_op(self):
+        maybe_io_fault("cache", "anything")
+
+
+class TestGuardedIo:
+    def test_transient_fault_absorbed_by_retry(self):
+        plan = FaultPlan.parse("ioerr:cache/:1")
+        sleeps = []
+        assert guarded_io(lambda: "stored", "cache", "bfs", plan,
+                          sleep=sleeps.append) == "stored"
+        assert len(sleeps) == 1
+
+    def test_persistent_fault_propagates_after_backoff(self):
+        plan = FaultPlan.parse("enospc:cache/:*")
+        sleeps = []
+        with pytest.raises(OSError) as excinfo:
+            guarded_io(lambda: "stored", "cache", "bfs", plan,
+                       retries=2, backoff=0.02, sleep=sleeps.append)
+        assert excinfo.value.errno == errno.ENOSPC
+        assert sleeps == [0.02, 0.04]    # exponential backoff
+
+    def test_real_oserror_from_fn_is_retried(self):
+        failures = iter([OSError(errno.EIO, "flaky"), None])
+
+        def write():
+            exc = next(failures)
+            if exc is not None:
+                raise exc
+            return "ok"
+
+        assert guarded_io(write, "cache", sleep=lambda s: None) == "ok"
+
+
+class TestCacheStoreDegrade:
+    def test_persistent_enospc_degrades_to_manifest_hole(
+            self, tmp_path, monkeypatch):
+        """The cell's result is still served (this run completes); the
+        cache gets a hole and the manifest a ``cache-io`` entry so the
+        next run knows to re-simulate."""
+        configs = tiny_grid()
+        victim = cell_label(configs[1])
+        # I/O plans reach writers through the environment (the cache
+        # was built without an explicit plan).
+        monkeypatch.setenv(FAULT_PLAN_ENV,
+                           f"enospc:cache/{victim}:*")
+        service = SweepService(
+            backend="serial", cache_dir=tmp_path / "cache",
+            policy=SweepPolicy(strict=False))
+        results = service.run(configs)
+        assert all(r is not None for r in results)
+        assert fields(results[1]) == fields(run_once(configs[1]))
+        manifest = service.last_stats.manifest
+        assert len(manifest) == 1
+        failure = manifest.failures[0]
+        assert failure.kind == "cache-io"
+        assert failure.label == victim
+        assert "cache store failed" in failure.error
+        entries = list((tmp_path / "cache").glob("*.json"))
+        assert len(entries) == len(configs) - 1
+        assert service.last_stats.metrics["cache.store_errors"] == 1
+
+    def test_transient_enospc_absorbed_silently(self, tmp_path,
+                                                monkeypatch):
+        configs = tiny_grid()
+        victim = cell_label(configs[1])
+        monkeypatch.setenv(FAULT_PLAN_ENV,
+                           f"enospc:cache/{victim}:1")
+        service = SweepService(
+            backend="serial", cache_dir=tmp_path / "cache",
+            policy=SweepPolicy(strict=False))
+        results = service.run(configs)
+        assert all(r is not None for r in results)
+        assert not service.last_stats.manifest
+        entries = list((tmp_path / "cache").glob("*.json"))
+        assert len(entries) == len(configs)
+
+
+class TestSweepJournal:
+    def test_digest_is_order_independent(self):
+        assert sweep_digest(["b", "a", "c"]) == sweep_digest(
+            ["c", "a", "b"])
+        assert sweep_digest(["a"]) != sweep_digest(["b"])
+        path = journal_path("/tmp/x", ["a", "b"])
+        assert path.name == (f"sweep-{sweep_digest(['a', 'b'])}"
+                             f".journal.jsonl")
+
+    def test_record_load_round_trip(self, tmp_path):
+        path = tmp_path / "sweep.journal.jsonl"
+        with SweepJournal(path) as journal:
+            journal.record("start", cells=4)
+            journal.record("dispatch", key="k1", label="l1", attempt=1)
+            journal.record("outcome", key="k1", attempt=1,
+                           status="error")
+            journal.record("retry", key="k1", attempt=1,
+                           not_before=123.0)
+            journal.record("outcome", key="k2", attempt=1, status="ok")
+            journal.record("quarantine", key="k3", label="l3",
+                           attempts=2, fail_kind="timeout",
+                           error="too slow")
+            journal.record("interrupted", completed=1, pending=0,
+                           requeued=1)
+        state = load_journal(path)
+        assert state.attempts == {"k1": 1}
+        assert state.not_before == {"k1": 123.0}
+        assert state.completed == {"k2"}
+        assert state.quarantined["k3"]["fail_kind"] == "timeout"
+        assert state.quarantined["k3"]["attempts"] == 2
+        assert state.interrupted
+        assert bool(state)
+
+    def test_ok_outcome_clears_backoff_gate(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with SweepJournal(path) as journal:
+            journal.record("retry", key="k1", attempt=1,
+                           not_before=99.0)
+            journal.record("outcome", key="k1", attempt=2,
+                           status="ok")
+        state = load_journal(path)
+        assert state.not_before == {}
+        assert state.completed == {"k1"}
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with SweepJournal(path) as journal:
+            journal.record("outcome", key="k1", attempt=1,
+                           status="error")
+        with open(path, "a") as handle:
+            handle.write('{"v": 1, "kind": "outco')   # torn append
+        state = load_journal(path)
+        assert state.attempts == {"k1": 1}
+        assert state.records == 1
+
+    def test_missing_journal_is_empty_state(self, tmp_path):
+        state = load_journal(tmp_path / "absent.jsonl")
+        assert not state
+        assert state.attempts == {}
+
+    def test_fresh_run_truncates_resume_appends(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with SweepJournal(path) as journal:
+            journal.record("outcome", key="old", attempt=1,
+                           status="error")
+        with SweepJournal(path, resume=True) as journal:
+            journal.record("outcome", key="new", attempt=1,
+                           status="error")
+        assert load_journal(path).attempts == {"old": 1, "new": 1}
+        with SweepJournal(path) as journal:       # fresh: truncate
+            journal.record("outcome", key="only", attempt=1,
+                           status="error")
+        assert load_journal(path).attempts == {"only": 1}
+
+    def test_persistent_write_fault_degrades_to_counted_drop(
+            self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        plan = FaultPlan.parse("ioerr:journal/:*")
+        with SweepJournal(path, fault_plan=plan) as journal:
+            journal.record("outcome", key="k1", attempt=1,
+                           status="ok")
+            journal.record("outcome", key="k2", attempt=1,
+                           status="ok")
+            assert journal.dropped == 2
+        assert not load_journal(path)
+
+
+class TestResumeSupervision:
+    def _keys(self, tmp_path, configs):
+        cache = ResultCache(tmp_path / "cache")
+        return [cache.key(config) for config in configs]
+
+    def test_quarantine_carried_on_resume(self, tmp_path):
+        """A cell the previous run gave up on stays quarantined under
+        ``--resume`` — no silent fresh retry budget."""
+        configs = tiny_grid()
+        bad = cell_label(configs[1])
+        first = SweepService(
+            backend="serial", cache_dir=tmp_path / "cache",
+            policy=SweepPolicy(retries=0, backoff=0.0, strict=False,
+                               fault_plan=f"fail:{bad}:*"))
+        assert first.run(configs)[1] is None
+        assert len(first.last_stats.manifest) == 1
+
+        resumed = SweepService(
+            backend="serial", cache_dir=tmp_path / "cache",
+            resume=True,
+            policy=SweepPolicy(retries=0, strict=False))
+        results = resumed.run(configs)
+        assert results[1] is None
+        stats = resumed.last_stats
+        assert stats.simulated == 0          # nothing re-simulated
+        assert stats.cache_hits == len(configs) - 1
+        failure = stats.manifest.failures[0]
+        assert failure.label == bad
+        assert "InjectedFault" in failure.error
+
+        # A plain re-run (no --resume) grants a fresh budget instead.
+        fresh = SweepService(
+            backend="serial", cache_dir=tmp_path / "cache",
+            policy=SweepPolicy(retries=0, strict=False))
+        assert all(r is not None for r in fresh.run(configs))
+        assert fresh.last_stats.simulated == 1
+
+    def test_attempt_counts_carried_on_resume(self, tmp_path):
+        """Failures charged by a killed supervisor still count: the
+        journal says two attempts burned, so one more exhausts a
+        retries=2 budget."""
+        configs = tiny_grid()
+        bad_index = 2
+        bad = cell_label(configs[bad_index])
+        keys = self._keys(tmp_path, configs)
+        path = journal_path(tmp_path / "cache" / "journal", keys)
+        with SweepJournal(path) as journal:
+            journal.record("outcome", key=keys[bad_index], attempt=1,
+                           status="error")
+            journal.record("outcome", key=keys[bad_index], attempt=2,
+                           status="error")
+
+        service = SweepService(
+            backend="serial", cache_dir=tmp_path / "cache",
+            resume=True,
+            policy=SweepPolicy(retries=2, backoff=0.0, strict=False,
+                               fault_plan=f"fail:{bad}:*"))
+        results = service.run(configs)
+        assert results[bad_index] is None
+        stats = service.last_stats
+        failure = stats.manifest.failures[0]
+        assert failure.attempts == 3     # 2 carried + 1 new
+        # Only one dispatch happened this run (attempt 3): without the
+        # journal the cell would have burned attempts 1..3 again.
+        assert stats.retries == 1
+
+    def test_sigterm_drains_and_resume_completes(self, tmp_path):
+        """SIGTERM mid-sweep: in-flight work is cancelled, the journal
+        records the interruption, SweepInterrupted propagates — and a
+        ``--resume`` run completes only what is missing."""
+        configs = tiny_grid()
+        victim = cell_label(configs[3])
+        cache_dir = tmp_path / "cache"
+        service = SweepService(
+            backend="pool", jobs=2, cache_dir=cache_dir,
+            policy=SweepPolicy(retries=0, strict=False,
+                               fault_plan=f"hang:{victim}:*:60"))
+
+        def send_term():
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if len(list(cache_dir.glob("*.json"))) >= 3:
+                    os.kill(os.getpid(), signal.SIGTERM)
+                    return
+                time.sleep(0.01)
+
+        killer = threading.Thread(target=send_term, daemon=True)
+        killer.start()
+        with pytest.raises(SweepInterrupted) as excinfo:
+            service.run(configs)
+        killer.join(timeout=5)
+        assert excinfo.value.completed == 3
+        assert excinfo.value.requeued == 1
+        assert "interrupted" in str(excinfo.value)
+
+        keys = self._keys(tmp_path, configs)
+        state = load_journal(
+            journal_path(cache_dir / "journal", keys))
+        assert state.interrupted
+        assert len(state.completed) == 3
+        # The in-flight dispatch was never charged an attempt.
+        assert state.attempts.get(keys[3], 0) == 0
+
+        resumed = SweepService(backend="serial", cache_dir=cache_dir,
+                               resume=True)
+        results = resumed.run(configs)
+        assert all(r is not None for r in results)
+        assert resumed.last_stats.cache_hits == 3
+        assert resumed.last_stats.simulated == 1
+        assert fields(results[3]) == fields(run_once(configs[3]))
+
+    def test_interrupted_is_not_swallowed_by_except_exception(self):
+        with pytest.raises(KeyboardInterrupt):
+            try:
+                raise SweepInterrupted(1, 2, 3)
+            except Exception:             # generic recovery code
+                pytest.fail("drain must not be swallowed")

@@ -437,3 +437,40 @@ class TestObservabilityCommands:
                      "--max-idle", "0.05", "--poll-interval", "0.01",
                      "--quiet"]) == 0
         assert capsys.readouterr().err == ""
+
+
+class TestResilienceSurface:
+    def test_resume_requires_cache_dir(self):
+        with pytest.raises(SystemExit,
+                           match="--resume requires --cache-dir"):
+            main(["sweep", "--workloads", "rnd", "--mechanisms",
+                  "radix", "--cores", "1", "--refs", "300",
+                  "--resume"])
+
+    def test_resume_flag_defaults_off(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.resume is False
+
+    def test_queue_repair_clean_queue_reports_zero(self, capsys,
+                                                   tmp_path):
+        queue = tmp_path / "queue"
+        assert main(["queue", "repair", "--queue", str(queue)]) == 0
+        out = capsys.readouterr().out
+        assert f"queue {queue}: 0 issue(s) repaired" in out
+
+    def test_queue_repair_dry_run_then_apply(self, capsys, tmp_path):
+        queue = tmp_path / "queue"
+        orphan = queue / "todo" / "deadbeef.a1.json.tmp999"
+        orphan.parent.mkdir(parents=True)
+        orphan.write_text("{}")
+
+        assert main(["queue", "repair", "--queue", str(queue),
+                     "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "tmp orphans: 1" in out
+        assert "1 issue(s) found" in out
+        assert orphan.exists()          # dry run touches nothing
+
+        assert main(["queue", "repair", "--queue", str(queue)]) == 0
+        assert "1 issue(s) repaired" in capsys.readouterr().out
+        assert not orphan.exists()
